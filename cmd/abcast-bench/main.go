@@ -1,0 +1,85 @@
+// Command abcast-bench regenerates the paper's Figure 8: broadcast latency
+// versus throughput under varying closed-loop load, for Acuerdo and all six
+// baselines, at the paper's four configurations (3/7 nodes x 10/1000 byte
+// messages).
+//
+// Usage:
+//
+//	abcast-bench                         # all four subfigures
+//	abcast-bench -nodes 3 -size 10       # one subfigure
+//	abcast-bench -systems acuerdo,apus   # subset of systems
+//	abcast-bench -measure 50ms -windows 1,4,16,64,256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"acuerdo/internal/bench"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 0, "replica count (0 = both 3 and 7)")
+	size := flag.Int("size", 0, "message size in bytes (0 = both 10 and 1000)")
+	systems := flag.String("systems", "", "comma-separated system subset (default: all)")
+	windows := flag.String("windows", "", "comma-separated window ladder (default: 1..256 by powers of two)")
+	measure := flag.Duration("measure", 20*time.Millisecond, "simulated measurement interval per load point")
+	warmup := flag.Duration("warmup", 4*time.Millisecond, "simulated warmup per load point")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	kinds := bench.AllKinds
+	if *systems != "" {
+		kinds = nil
+		for _, s := range strings.Split(*systems, ",") {
+			kinds = append(kinds, bench.Kind(strings.TrimSpace(s)))
+		}
+	}
+	var ws []int
+	if *windows != "" {
+		for _, s := range strings.Split(*windows, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || w < 1 {
+				fmt.Fprintf(os.Stderr, "bad window %q\n", s)
+				os.Exit(2)
+			}
+			ws = append(ws, w)
+		}
+	}
+
+	nodeCounts := []int{3, 7}
+	if *nodes != 0 {
+		nodeCounts = []int{*nodes}
+	}
+	sizes := []int{10, 1000}
+	if *size != 0 {
+		sizes = []int{*size}
+	}
+
+	sub := map[[2]int]string{
+		{3, 10}: "Figure 8a", {3, 1000}: "Figure 8b",
+		{7, 10}: "Figure 8c", {7, 1000}: "Figure 8d",
+	}
+	for _, n := range nodeCounts {
+		for _, sz := range sizes {
+			cfg := bench.DefaultFig8(n, sz)
+			cfg.Measure = *measure
+			cfg.Warmup = *warmup
+			cfg.Seed = *seed
+			if ws != nil {
+				cfg.Windows = ws
+			}
+			title := sub[[2]int{n, sz}]
+			if title == "" {
+				title = "Figure 8 (custom)"
+			}
+			results := bench.Figure8(cfg, kinds)
+			bench.PrintFigure8(os.Stdout, title, cfg, results, kinds)
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command election-bench regenerates the paper's Table 1: average Acuerdo
+// election duration as a function of replica count, including the diff
+// transfer and excluding failure detection. The experiment repeatedly makes
+// the current leader sleep after winning; the survivors detect the silence
+// and elect, and each winner reports the time from its own suspicion until
+// it could begin broadcasting.
+//
+// Usage:
+//
+//	election-bench
+//	election-bench -counts 3,5,7,9 -rounds 30 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"acuerdo/internal/bench"
+)
+
+func main() {
+	counts := flag.String("counts", "3,5,7,9", "comma-separated replica counts")
+	rounds := flag.Int("rounds", 20, "elections per replica count")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	verbose := flag.Bool("v", false, "print every election duration")
+	flag.Parse()
+
+	var ns []int
+	for _, s := range strings.Split(*counts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 3 || n%2 == 0 {
+			fmt.Fprintf(os.Stderr, "bad replica count %q (need odd >= 3)\n", s)
+			os.Exit(2)
+		}
+		ns = append(ns, n)
+	}
+
+	results := bench.Table1(ns, *rounds, *seed)
+	bench.PrintTable1(os.Stdout, results)
+	if *verbose {
+		for _, r := range results {
+			fmt.Printf("\n%d replicas (quiet):", r.Quiet.Nodes)
+			for _, d := range r.Quiet.Durations {
+				fmt.Printf(" %.2fms", float64(d)/1e6)
+			}
+			fmt.Printf("\n%d replicas (long-latency-critical):", r.Critical.Nodes)
+			for _, d := range r.Critical.Durations {
+				fmt.Printf(" %.2fms", float64(d)/1e6)
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Command ycsb-bench regenerates the paper's Figure 9: YCSB-load throughput
+// (ops/sec, 100% writes with zipfian-.99 key popularity) on the replicated
+// hash table, across node counts, for Acuerdo versus ZooKeeper and etcd.
+//
+// Usage:
+//
+//	ycsb-bench
+//	ycsb-bench -counts 3,5 -measure 50ms -window 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"acuerdo/internal/bench"
+)
+
+func main() {
+	counts := flag.String("counts", "3,5,7,9", "comma-separated node counts")
+	window := flag.Int("window", 64, "concurrent client operations")
+	records := flag.Uint64("records", 10000, "keyspace size")
+	value := flag.Int("value", 100, "value bytes per write")
+	measure := flag.Duration("measure", 30*time.Millisecond, "simulated measurement interval")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var ns []int
+	for _, s := range strings.Split(*counts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 3 {
+			fmt.Fprintf(os.Stderr, "bad node count %q\n", s)
+			os.Exit(2)
+		}
+		ns = append(ns, n)
+	}
+
+	out := make(map[bench.Kind][]bench.YCSBResult)
+	for _, k := range bench.YCSBSystems {
+		for _, n := range ns {
+			cfg := bench.DefaultYCSB(n)
+			cfg.Window = *window
+			cfg.Records = *records
+			cfg.Value = *value
+			cfg.Measure = *measure
+			cfg.Seed = *seed
+			out[k] = append(out[k], bench.RunYCSB(k, cfg))
+		}
+	}
+	bench.PrintFigure9(os.Stdout, out)
+}

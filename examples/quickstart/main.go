@@ -1,0 +1,51 @@
+// Quickstart: bring up a 3-replica Acuerdo group on the simulated RDMA
+// fabric, broadcast a handful of messages, and watch them get delivered in
+// the same total order at every replica.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"acuerdo/internal/abcast"
+	"acuerdo/internal/acuerdo"
+	"acuerdo/internal/rdma"
+	"acuerdo/internal/simnet"
+)
+
+func main() {
+	// Everything runs on a deterministic simulated clock: same seed, same
+	// execution, same microsecond-level latencies.
+	sim := simnet.New(42)
+	fabric := rdma.NewFabric(sim, rdma.DefaultParams())
+
+	// A cluster is n replicas plus one external client machine; the client
+	// submits over an RDMA ring buffer and gets commit acknowledgments the
+	// same way.
+	cluster := acuerdo.NewCluster(sim, fabric, acuerdo.DefaultClusterConfig(3))
+
+	// Observe every delivery at every replica.
+	cluster.OnDeliver = func(replica int, hdr acuerdo.MsgHdr, payload []byte) {
+		fmt.Printf("  replica %d delivered %-12v %q\n", replica, hdr.String(), payload[8:])
+	}
+
+	cluster.Start()
+	sim.RunFor(20 * time.Millisecond) // startup election
+	fmt.Printf("leader elected: replica %d (epoch %v)\n\n",
+		cluster.LeaderIdx(), cluster.Leader().Epoch())
+
+	for i, text := range []string{"alpha", "bravo", "charlie", "delta"} {
+		payload := make([]byte, 8+len(text))
+		abcast.PutMsgID(payload, uint64(i+1)) // unique request ID
+		copy(payload[8:], text)
+		sent := sim.Now()
+		cluster.Submit(payload, func() {
+			fmt.Printf("client: %q committed in %v\n\n", text, sim.Now().Sub(sent))
+		})
+		sim.RunFor(time.Millisecond)
+	}
+
+	fmt.Println("every replica delivered the same sequence — that is atomic broadcast.")
+}

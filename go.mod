@@ -1,0 +1,3 @@
+module acuerdo
+
+go 1.23

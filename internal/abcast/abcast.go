@@ -1,0 +1,199 @@
+// Package abcast defines the common contract every atomic-broadcast system
+// in this repository satisfies, the safety checker that validates the three
+// atomic-broadcast properties (Integrity, No Duplication, Total Order), and
+// the closed-loop client driver used by the Figure 8 experiments.
+package abcast
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"acuerdo/internal/metrics"
+	"acuerdo/internal/simnet"
+)
+
+// System is the uniform interface over Acuerdo and all baselines
+// (derecho-leader, derecho-all, apus, libpaxos, zookeeper/zab, etcd/raft).
+//
+// All methods must be called from inside the simulation (i.e., from event
+// callbacks or before the simulation starts).
+type System interface {
+	// Name identifies the system in reports ("acuerdo", "derecho-leader", ...).
+	Name() string
+	// Submit broadcasts payload. done, if non-nil, runs at the simulated
+	// time the *client* learns the message is committed (it includes the
+	// client's request and acknowledgment hops).
+	Submit(payload []byte, done func())
+	// Ready reports whether the system currently accepts client traffic
+	// (e.g., a leader is elected).
+	Ready() bool
+}
+
+// MsgID extracts the 8-byte message identifier that the driver embeds at the
+// start of every payload.
+func MsgID(payload []byte) uint64 {
+	if len(payload) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(payload)
+}
+
+// PutMsgID stamps id into payload.
+func PutMsgID(payload []byte, id uint64) {
+	binary.LittleEndian.PutUint64(payload, id)
+}
+
+// Checker validates atomic-broadcast safety across replicas. Protocol
+// integration tests feed it every broadcast and every delivery.
+type Checker struct {
+	broadcast map[uint64]bool
+	delivered [][]uint64 // per node, in delivery order
+	seen      []map[uint64]bool
+}
+
+// NewChecker creates a checker for n replicas.
+func NewChecker(n int) *Checker {
+	c := &Checker{
+		broadcast: make(map[uint64]bool),
+		delivered: make([][]uint64, n),
+		seen:      make([]map[uint64]bool, n),
+	}
+	for i := range c.seen {
+		c.seen[i] = make(map[uint64]bool)
+	}
+	return c
+}
+
+// OnBroadcast records that id was handed to the system by a client.
+func (c *Checker) OnBroadcast(id uint64) { c.broadcast[id] = true }
+
+// OnDeliver records that replica node delivered id. It returns an error
+// immediately on an Integrity or No-Duplication violation so tests fail at
+// the offending event.
+func (c *Checker) OnDeliver(node int, id uint64) error {
+	if !c.broadcast[id] {
+		return fmt.Errorf("integrity violated: node %d delivered %d which was never broadcast", node, id)
+	}
+	if c.seen[node][id] {
+		return fmt.Errorf("no-duplication violated: node %d delivered %d twice", node, id)
+	}
+	c.seen[node][id] = true
+	c.delivered[node] = append(c.delivered[node], id)
+	return nil
+}
+
+// Delivered returns the delivery sequence observed at node.
+func (c *Checker) Delivered(node int) []uint64 { return c.delivered[node] }
+
+// CheckTotalOrder verifies the prefix property: every replica's delivery
+// sequence is a prefix of the longest replica's sequence.
+func (c *Checker) CheckTotalOrder() error {
+	longest := 0
+	for i, d := range c.delivered {
+		if len(d) > len(c.delivered[longest]) {
+			longest = i
+		}
+	}
+	ref := c.delivered[longest]
+	for i, d := range c.delivered {
+		for k, id := range d {
+			if ref[k] != id {
+				return fmt.Errorf("total order violated: node %d delivered %d at position %d, node %d delivered %d",
+					i, id, k, longest, ref[k])
+			}
+		}
+	}
+	return nil
+}
+
+// MinDelivered returns the shortest delivery sequence length (the committed
+// prefix guaranteed at every replica).
+func (c *Checker) MinDelivered() int {
+	if len(c.delivered) == 0 {
+		return 0
+	}
+	min := len(c.delivered[0])
+	for _, d := range c.delivered[1:] {
+		if len(d) < min {
+			min = len(d)
+		}
+	}
+	return min
+}
+
+// LoadConfig parameterizes one closed-loop load point (one x-position in a
+// Figure 8 curve).
+type LoadConfig struct {
+	// Window is the number of outstanding unacknowledged client messages
+	// (the paper's load regulator).
+	Window int
+	// MsgSize is the fixed payload size (10 or 1000 bytes in the paper).
+	MsgSize int
+	// Warmup and Measure are simulated durations; samples during warmup
+	// are discarded.
+	Warmup  time.Duration
+	Measure time.Duration
+}
+
+// LoadResult is one measured load point.
+type LoadResult struct {
+	System     string
+	Window     int
+	MsgSize    int
+	Committed  int
+	Latency    metrics.Histogram
+	Elapsed    time.Duration
+	MBPerSec   float64
+	MsgsPerSec float64
+}
+
+// RunClosedLoop drives sys with cfg.Window outstanding messages: every
+// commit acknowledgment immediately triggers the next submission, exactly
+// like the paper's load-regulating client. It runs the simulation itself and
+// returns the measured point.
+func RunClosedLoop(sim *simnet.Sim, sys System, cfg LoadConfig) LoadResult {
+	res := LoadResult{System: sys.Name(), Window: cfg.Window, MsgSize: cfg.MsgSize}
+	if cfg.MsgSize < 8 {
+		cfg.MsgSize = 8
+	}
+	var (
+		nextID     uint64
+		measuring  bool
+		start, end simnet.Time
+	)
+
+	var submit func()
+	submit = func() {
+		if !sys.Ready() {
+			sim.After(50*time.Microsecond, submit)
+			return
+		}
+		nextID++
+		payload := make([]byte, cfg.MsgSize)
+		PutMsgID(payload, nextID)
+		sent := sim.Now()
+		sys.Submit(payload, func() {
+			if measuring {
+				res.Latency.Add(sim.Now().Sub(sent))
+				res.Committed++
+			}
+			submit()
+		})
+	}
+
+	for i := 0; i < cfg.Window; i++ {
+		submit()
+	}
+	sim.RunFor(cfg.Warmup)
+	measuring = true
+	start = sim.Now()
+	sim.RunFor(cfg.Measure)
+	measuring = false
+	end = sim.Now()
+
+	res.Elapsed = end.Sub(start)
+	res.MBPerSec = metrics.MBPerSec(res.Committed*cfg.MsgSize, res.Elapsed)
+	res.MsgsPerSec = metrics.Throughput(res.Committed, res.Elapsed)
+	return res
+}

@@ -1,0 +1,168 @@
+package abcast
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"acuerdo/internal/simnet"
+)
+
+func TestMsgIDRoundTrip(t *testing.T) {
+	f := func(id uint64) bool {
+		p := make([]byte, 16)
+		PutMsgID(p, id)
+		return MsgID(p) == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if MsgID([]byte{1, 2}) != 0 {
+		t.Fatal("short payload should yield 0")
+	}
+}
+
+func TestCheckerIntegrity(t *testing.T) {
+	c := NewChecker(2)
+	if err := c.OnDeliver(0, 7); err == nil {
+		t.Fatal("out-of-thin-air delivery accepted")
+	}
+	c.OnBroadcast(7)
+	if err := c.OnDeliver(0, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckerNoDuplication(t *testing.T) {
+	c := NewChecker(2)
+	c.OnBroadcast(1)
+	if err := c.OnDeliver(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.OnDeliver(0, 1); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	// Same message at a different node is fine.
+	if err := c.OnDeliver(1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckerTotalOrder(t *testing.T) {
+	c := NewChecker(3)
+	for i := uint64(1); i <= 3; i++ {
+		c.OnBroadcast(i)
+	}
+	for _, id := range []uint64{1, 2, 3} {
+		c.OnDeliver(0, id)
+	}
+	for _, id := range []uint64{1, 2} {
+		c.OnDeliver(1, id)
+	}
+	// node 2 delivered nothing: still a valid prefix.
+	if err := c.CheckTotalOrder(); err != nil {
+		t.Fatal(err)
+	}
+	if c.MinDelivered() != 0 {
+		t.Fatalf("min = %d", c.MinDelivered())
+	}
+	// Divergent order at node 2.
+	c.OnDeliver(2, 2)
+	if err := c.CheckTotalOrder(); err == nil {
+		t.Fatal("divergent order accepted")
+	}
+}
+
+func TestCheckerPrefixProperty(t *testing.T) {
+	// Property: if all nodes deliver prefixes of one sequence, the check
+	// passes; flipping any two adjacent distinct elements at one node
+	// fails it.
+	f := func(seed int64, cut1, cut2 uint8) bool {
+		c := NewChecker(3)
+		seq := make([]uint64, 20)
+		for i := range seq {
+			seq[i] = uint64(i + 1)
+			c.OnBroadcast(seq[i])
+		}
+		cuts := []int{20, int(cut1) % 21, int(cut2) % 21}
+		for n := 0; n < 3; n++ {
+			for _, id := range seq[:cuts[n]] {
+				c.OnDeliver(n, id)
+			}
+		}
+		return c.CheckTotalOrder() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeSystem commits after a fixed latency, with a concurrency cap to give
+// a saturating throughput curve.
+type fakeSystem struct {
+	sim     *simnet.Sim
+	lat     time.Duration
+	cap     int
+	busy    int
+	queue   []func()
+	submits int
+}
+
+func (f *fakeSystem) Name() string { return "fake" }
+func (f *fakeSystem) Ready() bool  { return true }
+func (f *fakeSystem) Submit(p []byte, done func()) {
+	f.submits++
+	start := func(d func()) {
+		f.busy++
+		f.sim.After(f.lat, func() {
+			f.busy--
+			if len(f.queue) > 0 {
+				next := f.queue[0]
+				f.queue = f.queue[1:]
+				next()
+			}
+			d()
+		})
+	}
+	if f.busy < f.cap {
+		start(done)
+	} else {
+		f.queue = append(f.queue, func() { start(done) })
+	}
+}
+
+func TestRunClosedLoopWindowAndLatency(t *testing.T) {
+	sim := simnet.New(1)
+	fs := &fakeSystem{sim: sim, lat: 10 * time.Microsecond, cap: 1 << 30}
+	res := RunClosedLoop(sim, fs, LoadConfig{
+		Window: 4, MsgSize: 10,
+		Warmup: time.Millisecond, Measure: 10 * time.Millisecond,
+	})
+	// Each slot completes every 10us: 4 slots over 10ms = ~4000 commits.
+	if res.Committed < 3900 || res.Committed > 4100 {
+		t.Fatalf("committed = %d, want ~4000", res.Committed)
+	}
+	if m := res.Latency.Mean(); m != 10*time.Microsecond {
+		t.Fatalf("latency = %v", m)
+	}
+	if res.MsgsPerSec < 390000 || res.MsgsPerSec > 410000 {
+		t.Fatalf("throughput = %.0f", res.MsgsPerSec)
+	}
+}
+
+func TestRunClosedLoopSaturation(t *testing.T) {
+	// With a server concurrency cap of 2, doubling the window past 2 must
+	// not increase throughput (the "knee").
+	sim := simnet.New(1)
+	fs := &fakeSystem{sim: sim, lat: 10 * time.Microsecond, cap: 2}
+	r2 := RunClosedLoop(sim, fs, LoadConfig{Window: 2, MsgSize: 10, Warmup: time.Millisecond, Measure: 10 * time.Millisecond})
+	sim2 := simnet.New(1)
+	fs2 := &fakeSystem{sim: sim2, lat: 10 * time.Microsecond, cap: 2}
+	r8 := RunClosedLoop(sim2, fs2, LoadConfig{Window: 8, MsgSize: 10, Warmup: time.Millisecond, Measure: 10 * time.Millisecond})
+	if r8.MsgsPerSec > r2.MsgsPerSec*1.1 {
+		t.Fatalf("throughput grew past saturation: %.0f -> %.0f", r2.MsgsPerSec, r8.MsgsPerSec)
+	}
+	if r8.Latency.Mean() < 3*r2.Latency.Mean() {
+		t.Fatalf("latency did not spike past the knee: %v -> %v", r2.Latency.Mean(), r8.Latency.Mean())
+	}
+}

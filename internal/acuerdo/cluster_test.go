@@ -1,0 +1,502 @@
+package acuerdo
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"acuerdo/internal/abcast"
+	"acuerdo/internal/rdma"
+	"acuerdo/internal/simnet"
+)
+
+func newTestCluster(t *testing.T, n int, seed int64) (*simnet.Sim, *Cluster, *abcast.Checker) {
+	t.Helper()
+	sim := simnet.New(seed)
+	fabric := rdma.NewFabric(sim, rdma.DefaultParams())
+	c := NewCluster(sim, fabric, DefaultClusterConfig(n))
+	chk := abcast.NewChecker(n)
+	c.OnDeliver = func(replica int, hdr MsgHdr, payload []byte) {
+		if err := chk.OnDeliver(replica, abcast.MsgID(payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Start()
+	return sim, c, chk
+}
+
+func TestStartupElectsLeader(t *testing.T) {
+	sim, c, _ := newTestCluster(t, 3, 1)
+	sim.RunFor(20 * time.Millisecond)
+	if c.LeaderIdx() < 0 {
+		t.Fatal("no leader elected at startup")
+	}
+	// Exactly one leader.
+	leaders := 0
+	for _, r := range c.Replicas {
+		if r.IsLeader() {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("leaders = %d", leaders)
+	}
+	// Followers joined the leader's epoch.
+	e := c.Leader().Epoch()
+	for i, r := range c.Replicas {
+		if r.Epoch() != e {
+			t.Fatalf("replica %d in epoch %v, leader in %v", i, r.Epoch(), e)
+		}
+	}
+}
+
+func TestBroadcastCommitsEverywhere(t *testing.T) {
+	for _, n := range []int{3, 5, 7} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			sim, c, chk := newTestCluster(t, n, 2)
+			sim.RunFor(20 * time.Millisecond)
+			const total = 200
+			committed := 0
+			for i := 1; i <= total; i++ {
+				payload := make([]byte, 16)
+				abcast.PutMsgID(payload, uint64(i))
+				chk.OnBroadcast(uint64(i))
+				c.Submit(payload, func() { committed++ })
+			}
+			sim.RunFor(50 * time.Millisecond)
+			if committed != total {
+				t.Fatalf("committed %d of %d", committed, total)
+			}
+			if err := chk.CheckTotalOrder(); err != nil {
+				t.Fatal(err)
+			}
+			// Every replica delivered every message (stable run).
+			for i := 0; i < n; i++ {
+				if got := len(chk.Delivered(i)); got != total {
+					t.Fatalf("replica %d delivered %d of %d", i, got, total)
+				}
+			}
+		})
+	}
+}
+
+func TestCommitLatencyIsMicroseconds(t *testing.T) {
+	// Sanity calibration: a 10-byte message on an idle 3-node group must
+	// commit at the client in ~10us (paper Figure 8a).
+	sim, c, _ := newTestCluster(t, 3, 3)
+	sim.RunFor(20 * time.Millisecond)
+	var lat time.Duration
+	payload := make([]byte, 10)
+	abcast.PutMsgID(payload, 42)
+	start := sim.Now()
+	c.OnDeliver = nil
+	c.Submit(payload, func() { lat = sim.Now().Sub(start) })
+	sim.RunFor(5 * time.Millisecond)
+	if lat == 0 {
+		t.Fatal("message never committed")
+	}
+	if lat < 3*time.Microsecond || lat > 25*time.Microsecond {
+		t.Fatalf("commit latency = %v, want ~10us", lat)
+	}
+}
+
+func TestLeaderCrashFailover(t *testing.T) {
+	sim, c, chk := newTestCluster(t, 5, 4)
+	sim.RunFor(20 * time.Millisecond)
+
+	committed := make(map[uint64]bool)
+	var id uint64
+	submit := func() {
+		id++
+		payload := make([]byte, 16)
+		abcast.PutMsgID(payload, id)
+		chk.OnBroadcast(id)
+		myID := id
+		c.Submit(payload, func() { committed[myID] = true })
+	}
+	for i := 0; i < 50; i++ {
+		submit()
+	}
+	sim.RunFor(10 * time.Millisecond)
+
+	old := c.LeaderIdx()
+	c.Replicas[old].Crash()
+	sim.RunFor(30 * time.Millisecond) // detection + election
+
+	nw := c.LeaderIdx()
+	if nw < 0 {
+		t.Fatal("no new leader after crash")
+	}
+	if nw == old {
+		t.Fatal("crashed node still leader")
+	}
+
+	// The group keeps committing after failover.
+	for i := 0; i < 50; i++ {
+		submit()
+	}
+	sim.RunFor(30 * time.Millisecond)
+	if len(committed) != 100 {
+		t.Fatalf("committed %d of 100 across failover", len(committed))
+	}
+	if err := chk.CheckTotalOrder(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommittedPrefixSurvivesCrash(t *testing.T) {
+	// Messages committed before the leader crash must be delivered by the
+	// new epoch's replicas too (no committed message is ever lost).
+	sim, c, chk := newTestCluster(t, 3, 5)
+	sim.RunFor(20 * time.Millisecond)
+
+	committedIDs := make(map[uint64]bool)
+	for i := uint64(1); i <= 30; i++ {
+		payload := make([]byte, 16)
+		abcast.PutMsgID(payload, i)
+		chk.OnBroadcast(i)
+		i := i
+		c.Submit(payload, func() { committedIDs[i] = true })
+	}
+	sim.RunFor(10 * time.Millisecond)
+	nCommitted := len(committedIDs)
+	if nCommitted == 0 {
+		t.Fatal("nothing committed before crash")
+	}
+
+	c.Replicas[c.LeaderIdx()].Crash()
+	sim.RunFor(40 * time.Millisecond)
+
+	// Drive one more message so followers' commits catch up.
+	payload := make([]byte, 16)
+	abcast.PutMsgID(payload, 1000)
+	chk.OnBroadcast(1000)
+	c.Submit(payload, nil)
+	sim.RunFor(20 * time.Millisecond)
+
+	for i, r := range c.Replicas {
+		if r.Node.Crashed() {
+			continue
+		}
+		seen := make(map[uint64]bool)
+		for _, d := range chk.Delivered(i) {
+			seen[d] = true
+		}
+		for cid := range committedIDs {
+			if !seen[cid] {
+				t.Fatalf("replica %d lost committed message %d after failover", i, cid)
+			}
+		}
+	}
+	if err := chk.CheckTotalOrder(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpToDateLeaderProperty(t *testing.T) {
+	// At every election, the winner's log must dominate the quorum that
+	// voted for it — assert the winner's accepted header is >= every
+	// committed header in the group.
+	sim, c, chk := newTestCluster(t, 5, 6)
+	for _, r := range c.Replicas {
+		r := r
+		r.OnElected = func(e Epoch) {
+			for k, other := range c.Replicas {
+				if other.Committed().Cmp(r.Accepted()) > 0 {
+					t.Fatalf("election winner %d (accepted %v) behind replica %d (committed %v)",
+						r.ID, r.Accepted(), k, other.Committed())
+				}
+			}
+		}
+	}
+	sim.RunFor(20 * time.Millisecond)
+	var id uint64
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 30; i++ {
+			id++
+			payload := make([]byte, 16)
+			abcast.PutMsgID(payload, id)
+			chk.OnBroadcast(id)
+			c.Submit(payload, nil)
+		}
+		sim.RunFor(10 * time.Millisecond)
+		if ldr := c.LeaderIdx(); ldr >= 0 && round < 2 {
+			c.Replicas[ldr].Crash()
+			sim.RunFor(40 * time.Millisecond)
+		}
+	}
+	if err := chk.CheckTotalOrder(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPausedLeaderRejoinsAsFollower(t *testing.T) {
+	sim, c, chk := newTestCluster(t, 3, 7)
+	sim.RunFor(20 * time.Millisecond)
+	old := c.LeaderIdx()
+	// The paper's Table 1 experiment: the leader sleeps (descheduled), the
+	// group elects a new leader, the sleeper wakes and rejoins.
+	c.Replicas[old].Node.Proc.Pause(30 * time.Millisecond)
+	sim.RunFor(60 * time.Millisecond)
+	nw := c.LeaderIdx()
+	if nw < 0 || nw == old {
+		t.Fatalf("new leader = %d (old %d)", nw, old)
+	}
+	// Traffic flows; the woken node follows the new epoch.
+	for i := uint64(1); i <= 20; i++ {
+		payload := make([]byte, 16)
+		abcast.PutMsgID(payload, i)
+		chk.OnBroadcast(i)
+		c.Submit(payload, nil)
+	}
+	sim.RunFor(30 * time.Millisecond)
+	if got := c.Replicas[old].Role(); got != Follower {
+		t.Fatalf("woken leader role = %v, want FOLLOWER", got)
+	}
+	if c.Replicas[old].Epoch() != c.Replicas[nw].Epoch() {
+		t.Fatal("woken leader did not join new epoch")
+	}
+	if err := chk.CheckTotalOrder(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(chk.Delivered(old)); got != 20 {
+		t.Fatalf("woken node delivered %d of 20", got)
+	}
+}
+
+func TestQuorumRunsDespiteDeadFollower(t *testing.T) {
+	// Acuerdo runs at the speed of the fastest quorum: killing one
+	// follower of three must not stall commits.
+	sim, c, chk := newTestCluster(t, 3, 8)
+	sim.RunFor(20 * time.Millisecond)
+	ldr := c.LeaderIdx()
+	dead := (ldr + 1) % 3
+	c.Replicas[dead].Crash()
+	committed := 0
+	for i := uint64(1); i <= 100; i++ {
+		payload := make([]byte, 16)
+		abcast.PutMsgID(payload, i)
+		chk.OnBroadcast(i)
+		c.Submit(payload, func() { committed++ })
+	}
+	sim.RunFor(40 * time.Millisecond)
+	if committed != 100 {
+		t.Fatalf("committed %d of 100 with a dead follower", committed)
+	}
+	if err := chk.CheckTotalOrder(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlowFollowerCatchesUp(t *testing.T) {
+	// A follower descheduled mid-stream must catch up via receiver-side
+	// batching without stalling the group.
+	sim, c, chk := newTestCluster(t, 3, 9)
+	sim.RunFor(20 * time.Millisecond)
+	ldr := c.LeaderIdx()
+	slow := (ldr + 1) % 3
+	committed := 0
+	var id uint64
+	pump := func(k int) {
+		for i := 0; i < k; i++ {
+			id++
+			payload := make([]byte, 16)
+			abcast.PutMsgID(payload, id)
+			chk.OnBroadcast(id)
+			c.Submit(payload, func() { committed++ })
+		}
+	}
+	pump(50)
+	sim.RunFor(5 * time.Millisecond)
+	c.Replicas[slow].Node.Proc.Pause(2 * time.Millisecond)
+	pump(100)
+	sim.RunFor(2 * time.Millisecond) // while the follower is paused
+	before := committed
+	if before == 0 {
+		t.Fatal("commits stalled during follower pause")
+	}
+	sim.RunFor(40 * time.Millisecond)
+	if committed != 150 {
+		t.Fatalf("committed %d of 150", committed)
+	}
+	if got := len(chk.Delivered(slow)); got != 150 {
+		t.Fatalf("slow follower delivered %d of 150 (no catch-up)", got)
+	}
+	if err := chk.CheckTotalOrder(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashStormSafety(t *testing.T) {
+	// Repeatedly crash leaders (up to f of them) under continuous load
+	// across several seeds; safety must hold throughout.
+	for seed := int64(20); seed < 24; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			sim, c, chk := newTestCluster(t, 5, seed)
+			sim.RunFor(20 * time.Millisecond)
+			var id uint64
+			crashed := 0
+			for phase := 0; phase < 6; phase++ {
+				for i := 0; i < 20; i++ {
+					id++
+					payload := make([]byte, 16)
+					abcast.PutMsgID(payload, id)
+					chk.OnBroadcast(id)
+					c.Submit(payload, nil)
+				}
+				sim.RunFor(8 * time.Millisecond)
+				if crashed < 2 && phase%2 == 0 { // f=2 for n=5
+					if ldr := c.LeaderIdx(); ldr >= 0 {
+						c.Replicas[ldr].Crash()
+						crashed++
+						sim.RunFor(30 * time.Millisecond)
+					}
+				}
+			}
+			sim.RunFor(50 * time.Millisecond)
+			if err := chk.CheckTotalOrder(); err != nil {
+				t.Fatal(err)
+			}
+			if chk.MinDelivered() == 0 {
+				t.Fatal("no progress under crash storm")
+			}
+		})
+	}
+}
+
+func TestOldEpochMessagesDiscarded(t *testing.T) {
+	// A deposed leader's stragglers must not be accepted in the new epoch.
+	sim, c, chk := newTestCluster(t, 3, 10)
+	sim.RunFor(20 * time.Millisecond)
+	old := c.LeaderIdx()
+	oldR := c.Replicas[old]
+	// Pause the leader, elect a new one.
+	oldR.Node.Proc.Pause(25 * time.Millisecond)
+	sim.RunFor(50 * time.Millisecond)
+	if c.LeaderIdx() == old {
+		t.Fatal("expected new leader")
+	}
+	// Old leader wakes thinking it leads; force a stale broadcast before it
+	// learns better (its role flips only when it drains the diff).
+	if oldR.Role() == Leader {
+		payload := make([]byte, 16)
+		abcast.PutMsgID(payload, 999)
+		oldR.Broadcast(payload) // stale epoch; must be ignored everywhere
+	}
+	for i := uint64(1); i <= 10; i++ {
+		payload := make([]byte, 16)
+		abcast.PutMsgID(payload, i)
+		chk.OnBroadcast(i)
+		c.Submit(payload, nil)
+	}
+	sim.RunFor(30 * time.Millisecond)
+	for i := range c.Replicas {
+		for _, d := range chk.Delivered(i) {
+			if d == 999 {
+				t.Fatalf("stale-epoch message delivered at replica %d", i)
+			}
+		}
+	}
+	if err := chk.CheckTotalOrder(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogTrim(t *testing.T) {
+	sim, c, chk := newTestCluster(t, 3, 11)
+	sim.RunFor(20 * time.Millisecond)
+	for i := uint64(1); i <= 300; i++ {
+		payload := make([]byte, 16)
+		abcast.PutMsgID(payload, i)
+		chk.OnBroadcast(i)
+		c.Submit(payload, nil)
+	}
+	sim.RunFor(40 * time.Millisecond)
+	before := c.Leader().LogLen()
+	for _, r := range c.Replicas {
+		r.TrimLog()
+	}
+	after := c.Leader().LogLen()
+	if after >= before || after > 10 {
+		t.Fatalf("trim ineffective: %d -> %d", before, after)
+	}
+	// The group still works after trimming.
+	payload := make([]byte, 16)
+	abcast.PutMsgID(payload, 1000)
+	chk.OnBroadcast(1000)
+	done := false
+	c.Submit(payload, func() { done = true })
+	sim.RunFor(10 * time.Millisecond)
+	if !done {
+		t.Fatal("commit failed after trim")
+	}
+}
+
+func TestElectionsAreFast(t *testing.T) {
+	// Without injected scheduler noise an election (suspicion to first
+	// broadcast capability) completes in tens of microseconds.
+	sim, c, _ := newTestCluster(t, 3, 12)
+	sim.RunFor(20 * time.Millisecond)
+	old := c.LeaderIdx()
+	c.Replicas[old].Crash()
+	// Force suspicion immediately on survivors (Table 1 excludes
+	// detection time).
+	for i, r := range c.Replicas {
+		if i != old {
+			r.Suspect()
+		}
+	}
+	sim.RunFor(10 * time.Millisecond)
+	nw := c.LeaderIdx()
+	if nw < 0 {
+		t.Fatal("no new leader")
+	}
+	w := c.Replicas[nw]
+	d := w.WonAt.Sub(w.SuspectedAt)
+	if d <= 0 || d > time.Millisecond {
+		t.Fatalf("election duration = %v, want < 1ms on a quiet fabric", d)
+	}
+}
+
+func TestReadySemantics(t *testing.T) {
+	sim, c, _ := newTestCluster(t, 3, 13)
+	if c.Ready() {
+		t.Fatal("ready before any election")
+	}
+	sim.RunFor(20 * time.Millisecond)
+	if !c.Ready() {
+		t.Fatal("not ready after startup election")
+	}
+}
+
+func TestNoDuplicateDeliveryAcrossFailover(t *testing.T) {
+	// The checker's OnDeliver fails the test on duplicates; this exercises
+	// the diff path heavily with repeated elections over the same log.
+	sim, c, chk := newTestCluster(t, 5, 14)
+	sim.RunFor(20 * time.Millisecond)
+	var id uint64
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 25; i++ {
+			id++
+			payload := make([]byte, 16)
+			abcast.PutMsgID(payload, id)
+			chk.OnBroadcast(id)
+			c.Submit(payload, nil)
+		}
+		sim.RunFor(8 * time.Millisecond)
+		if ldr := c.LeaderIdx(); ldr >= 0 {
+			// Pause (not crash): the deposed leader rejoins and must not
+			// re-deliver anything.
+			c.Replicas[ldr].Node.Proc.Pause(20 * time.Millisecond)
+			sim.RunFor(45 * time.Millisecond)
+		}
+	}
+	sim.RunFor(60 * time.Millisecond)
+	if err := chk.CheckTotalOrder(); err != nil {
+		t.Fatal(err)
+	}
+	if chk.MinDelivered() < int(id)/2 {
+		t.Fatalf("delivered only %d of %d at the slowest replica", chk.MinDelivered(), id)
+	}
+}

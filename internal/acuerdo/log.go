@@ -1,0 +1,94 @@
+package acuerdo
+
+import "sort"
+
+// Entry is one message stored in a replica's ordered log.
+type Entry struct {
+	Hdr     MsgHdr
+	Payload []byte
+}
+
+// Log is the ordered message log (the paper's map<msghdr, message*> Log,
+// iterated in header order). It is kept as a sorted slice: in the normal
+// broadcast mode insertions are strictly appending, so the common case is
+// O(1).
+type Log struct {
+	entries []Entry
+}
+
+// Len returns the number of entries.
+func (l *Log) Len() int { return len(l.entries) }
+
+// search returns the index of the first entry with header >= h.
+func (l *Log) search(h MsgHdr) int {
+	return sort.Search(len(l.entries), func(i int) bool {
+		return !l.entries[i].Hdr.Less(h)
+	})
+}
+
+// Insert stores e, replacing any entry with the same header.
+func (l *Log) Insert(e Entry) {
+	i := l.search(e.Hdr)
+	if i < len(l.entries) && l.entries[i].Hdr == e.Hdr {
+		l.entries[i] = e
+		return
+	}
+	l.entries = append(l.entries, Entry{})
+	copy(l.entries[i+1:], l.entries[i:])
+	l.entries[i] = e
+}
+
+// Get returns the entry with header h, or nil.
+func (l *Log) Get(h MsgHdr) *Entry {
+	i := l.search(h)
+	if i < len(l.entries) && l.entries[i].Hdr == h {
+		return &l.entries[i]
+	}
+	return nil
+}
+
+// RemoveFrom deletes every entry with header >= h (diff acceptance removes
+// uncommitted entries newer than the diff's first message, Figure 5 line 62).
+func (l *Log) RemoveFrom(h MsgHdr) {
+	i := l.search(h)
+	l.entries = l.entries[:i]
+}
+
+// TrimBelow deletes every entry with header < h (garbage collection of the
+// committed prefix once every replica is known to have committed it).
+func (l *Log) TrimBelow(h MsgHdr) {
+	i := l.search(h)
+	if i > 0 {
+		l.entries = append(l.entries[:0], l.entries[i:]...)
+	}
+}
+
+// RangeOpen returns entries with lo < hdr < hi in order (diff commit,
+// Figure 6 line 84).
+func (l *Log) RangeOpen(lo, hi MsgHdr) []Entry {
+	i := l.search(lo)
+	if i < len(l.entries) && l.entries[i].Hdr == lo {
+		i++
+	}
+	j := l.search(hi)
+	return l.entries[i:j]
+}
+
+// RangeClosed returns entries with lo <= hdr <= hi in order (diff
+// construction, Figure 7 line 123).
+func (l *Log) RangeClosed(lo, hi MsgHdr) []Entry {
+	i := l.search(lo)
+	j := l.search(hi)
+	if j < len(l.entries) && l.entries[j].Hdr == hi {
+		j++
+	}
+	return l.entries[i:j]
+}
+
+// Last returns the highest entry, or nil for an empty log.
+func (l *Log) Last() *Entry {
+	if len(l.entries) == 0 {
+		return nil
+	}
+	return &l.entries[len(l.entries)-1]
+}

@@ -1,0 +1,629 @@
+package acuerdo
+
+import (
+	"time"
+
+	"acuerdo/internal/rdma"
+	"acuerdo/internal/ringbuf"
+	"acuerdo/internal/simnet"
+	"acuerdo/internal/sst"
+)
+
+// Role is a node's role within its current epoch (Figure 1).
+type Role int
+
+// Roles.
+const (
+	Electing Role = iota
+	Leader
+	Follower
+)
+
+func (r Role) String() string {
+	switch r {
+	case Electing:
+		return "ELECTING"
+	case Leader:
+		return "LEADER"
+	case Follower:
+		return "FOLLOWER"
+	}
+	return "?"
+}
+
+// Config tunes a replica. The zero value is not valid; start from
+// DefaultConfig.
+type Config struct {
+	// PollInterval and PollCost model the event loop: the receiver-side
+	// batch size is whatever accumulates between polls.
+	PollInterval time.Duration
+	PollCost     time.Duration
+	// PerMsgCost is the CPU cost of accepting one message.
+	PerMsgCost time.Duration
+	// DeliverCost is the CPU cost of delivering one message upward.
+	DeliverCost time.Duration
+	// CommitPushInterval is the off-critical-path cadence of Commit_SST
+	// pushes; the push doubles as the leader heartbeat.
+	CommitPushInterval time.Duration
+	// LeaderTimeout is the failure detector: a follower suspects the
+	// leader when its Commit_SST row is stale this long.
+	LeaderTimeout time.Duration
+	// CandidateTimeout bounds how long a voter waits on a candidate that
+	// is not winning before proposing itself.
+	CandidateTimeout time.Duration
+	// ElectionPeriod rate-limits election iterations ("On: Timeout or
+	// Periodically", Figure 7): a node re-evaluates its vote at most this
+	// often (the first iteration after suspicion runs immediately).
+	// Zero means every poll.
+	ElectionPeriod time.Duration
+	// RingBytes sizes each broadcast ring.
+	RingBytes int
+	// MaxBatch bounds messages drained per poll (0 = unlimited).
+	MaxBatch int
+
+	// Ablation knobs (all false in the real protocol):
+
+	// AckEveryMessage pushes the acceptance SST per message instead of
+	// once per receiver-side batch (Zab-style explicit acks).
+	AckEveryMessage bool
+	// ReleaseOnCommit reuses ring slots only once a message is committed
+	// at all nodes (Derecho-style) instead of on acceptance.
+	ReleaseOnCommit bool
+	// TwoWriteRing uses the two-writes-per-message ring format.
+	TwoWriteRing bool
+}
+
+// DefaultConfig returns the configuration used by the paper-reproduction
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		PollInterval:       400 * time.Nanosecond,
+		PollCost:           120 * time.Nanosecond,
+		PerMsgCost:         150 * time.Nanosecond,
+		DeliverCost:        100 * time.Nanosecond,
+		CommitPushInterval: 4 * time.Microsecond,
+		LeaderTimeout:      4 * time.Millisecond,
+		CandidateTimeout:   1 * time.Millisecond,
+		ElectionPeriod:     100 * time.Microsecond,
+		RingBytes:          4 << 20,
+		MaxBatch:           0,
+	}
+}
+
+// Stats counts protocol events at one replica.
+type Stats struct {
+	Broadcasts uint64 // messages this node proposed as leader
+	Accepted   uint64 // messages accepted
+	Delivered  uint64 // messages delivered to the application
+	Elections  uint64 // elections entered
+	SSTPushes  uint64 // acceptance pushes (for the ack-batching ablation)
+}
+
+type sentRec struct {
+	hdr MsgHdr
+	idx uint64
+}
+
+// Replica is one Acuerdo process. All methods must run inside the
+// simulation (replicas are driven by their poll loop).
+type Replica struct {
+	ID  PID
+	N   int
+	Cfg Config
+
+	Sim  *simnet.Sim
+	Node *rdma.Node
+
+	role                      Role
+	eCur, eNew                Epoch
+	accepted, committed, next MsgHdr
+	count                     uint32
+	log                       Log
+
+	out    *ringbuf.Sender
+	in     []*ringbuf.Receiver // indexed by sender replica; nil for self
+	fabIDs []int               // replica index -> fabric node ID
+
+	acceptSST *sst.Table[MsgHdr]
+	voteSST   *sst.Table[Vote]
+	commitSST *sst.Table[CommitRow]
+
+	hb             uint64
+	lastCommitPush simnet.Time
+	ldrRow         CommitRow
+	ldrRowAt       simnet.Time
+
+	voteChangedAt simnet.Time
+	lastMaxVote   Vote
+	nextElection  simnet.Time
+
+	// Election instrumentation (Table 1): SuspectedAt is when this node
+	// began the election it won; WonAt is when it finished sending diffs
+	// and could begin broadcasting.
+	SuspectedAt simnet.Time
+	WonAt       simnet.Time
+
+	sent     []sentRec
+	relPtr   []int
+	released []uint64
+
+	Stats Stats
+
+	// OnDeliver is invoked for every message delivered to the local
+	// application, in total order.
+	OnDeliver func(hdr MsgHdr, payload []byte)
+	// OnPoll, if set, runs at the start of every event-loop iteration
+	// (the cluster uses it to drain client request rings).
+	OnPoll func()
+	// OnElected, if set, runs when this node wins an election, after the
+	// diff transfer.
+	OnElected func(e Epoch)
+
+	stopPoll func()
+}
+
+// Role returns the node's current role.
+func (r *Replica) Role() Role { return r.role }
+
+// Epoch returns the node's current epoch.
+func (r *Replica) Epoch() Epoch { return r.eCur }
+
+// Accepted returns the last accepted header.
+func (r *Replica) Accepted() MsgHdr { return r.accepted }
+
+// Committed returns the last committed header.
+func (r *Replica) Committed() MsgHdr { return r.committed }
+
+// IsLeader reports whether the node currently leads its epoch.
+func (r *Replica) IsLeader() bool { return r.role == Leader }
+
+// LogLen returns the number of log entries held (for GC tests).
+func (r *Replica) LogLen() int { return r.log.Len() }
+
+func (r *Replica) majority() int { return r.N/2 + 1 }
+
+// Start launches the replica's event loop. Nodes boot in election mode.
+func (r *Replica) Start() {
+	r.voteChangedAt = r.Sim.Now()
+	r.ldrRowAt = r.Sim.Now()
+	r.SuspectedAt = r.Sim.Now()
+	r.stopPoll = r.Node.Proc.PollLoop(r.Cfg.PollInterval, r.Cfg.PollCost, r.poll)
+}
+
+// Stop halts the event loop (the process stays alive).
+func (r *Replica) Stop() {
+	if r.stopPoll != nil {
+		r.stopPoll()
+	}
+}
+
+// Crash fails the node (crash-stop).
+func (r *Replica) Crash() { r.Node.Crash() }
+
+// Restart recovers a crashed or paused node into election mode with its
+// memory intact; it will rejoin the group when it receives a diff from a
+// newer epoch.
+func (r *Replica) Restart() {
+	if r.Node.Crashed() {
+		r.Node.Recover()
+	}
+	r.role = Electing
+	r.Start()
+}
+
+// poll is one event-loop iteration: drain rings (accept), advance commits,
+// push the commit row/heartbeat, run the failure detector, and run the
+// election when electing.
+func (r *Replica) poll() {
+	if r.OnPoll != nil {
+		r.OnPoll()
+	}
+	r.drainRings()
+	r.commitTask()
+	r.pushCommitRow()
+	r.failureDetector()
+	if r.role == Electing {
+		r.electionStep()
+	}
+	if r.role == Leader {
+		r.releaseRings()
+	}
+}
+
+// drainRings accepts whatever has accumulated in the incoming ring buffers
+// (Figure 5). One acceptance SST push per batch acknowledges the entire
+// batch: RDMA FIFO delivery means the latest header implies all earlier
+// ones.
+func (r *Replica) drainRings() {
+	changed := false
+	for i := range r.in {
+		if i == int(r.ID) || r.in[i] == nil {
+			continue
+		}
+		recs := r.in[i].Poll(r.Cfg.MaxBatch)
+		for _, rec := range recs {
+			hdr, payload, entries, diffFrom, isDiff, err := DecodeMessage(rec)
+			if err != nil {
+				continue // corrupt record; drop
+			}
+			r.Node.Proc.Pause(r.Cfg.PerMsgCost)
+			if !isDiff {
+				// Normal message acceptance (line 47).
+				if hdr.E == r.eNew && hdr.E == r.eCur {
+					r.log.Insert(Entry{Hdr: hdr, Payload: payload})
+					r.accepted = hdr
+					r.Stats.Accepted++
+					changed = true
+					if r.Cfg.AckEveryMessage {
+						r.pushAccept()
+						changed = false
+					}
+				}
+			} else if r.eNew.Cmp(hdr.E) <= 0 {
+				// Diff acceptance and transition into broadcast
+				// (line 54).
+				r.acceptDiff(hdr, diffFrom, entries)
+				changed = true
+			}
+		}
+	}
+	if changed {
+		r.pushAccept()
+	}
+}
+
+// pushAccept publishes the last accepted header to the current leader only.
+func (r *Replica) pushAccept() {
+	r.acceptSST.Set(r.accepted)
+	if ldr := r.eCur.Ldr; ldr != r.ID {
+		r.acceptSST.PushMineTo(int(ldr))
+		r.Stats.SSTPushes++
+	}
+}
+
+// acceptDiff joins epoch hdr.E: synchronize the log with the new leader's
+// (remove uncommitted entries from the diff's range onward, splice the
+// diff's contents in), accept the diff, and move to the follower role
+// (Figure 5 lines 54-66).
+func (r *Replica) acceptDiff(hdr, diffFrom MsgHdr, entries []Entry) {
+	if hdr.Cnt != 0 {
+		panic("acuerdo: diff with nonzero count")
+	}
+	r.eNew = hdr.E
+	r.eCur = hdr.E
+	if hdr.E.Ldr != r.ID {
+		r.role = Follower
+	}
+	r.log.RemoveFrom(diffFrom)
+	for _, e := range entries {
+		r.log.Insert(e)
+	}
+	r.accepted = hdr
+	r.next = MsgHdr{E: r.eCur, Cnt: 0}
+	// Fresh leader: restart the failure detector.
+	r.ldrRow = CommitRow{}
+	r.ldrRowAt = r.Sim.Now()
+	r.lastMaxVote = Vote{}
+	r.voteChangedAt = r.Sim.Now()
+}
+
+// Broadcast proposes payload as the epoch's next message (Figure 4). It
+// returns false if this node is not the leader. The ring buffer pipelines
+// the message to every follower without waiting for any acknowledgment.
+func (r *Replica) Broadcast(payload []byte) bool {
+	if r.role != Leader {
+		return false
+	}
+	r.count++
+	hdr := MsgHdr{E: r.eNew, Cnt: r.count}
+	rec := EncodeMessage(hdr, payload)
+	r.Node.Proc.Pause(r.Cfg.PerMsgCost)
+	var idx uint64
+	for j := 0; j < r.N; j++ {
+		if j == int(r.ID) {
+			continue
+		}
+		i, err := r.out.Send(r.fabIDs[j], rec)
+		if err != nil {
+			panic("acuerdo: broadcast ring send failed: " + err.Error())
+		}
+		idx = i
+	}
+	r.sent = append(r.sent, sentRec{hdr: hdr, idx: idx})
+	// Self-acceptance: the leader stores and accepts its own message
+	// locally (broadcast includes itself).
+	pl := make([]byte, len(payload))
+	copy(pl, payload)
+	r.log.Insert(Entry{Hdr: hdr, Payload: pl})
+	r.accepted = hdr
+	r.acceptSST.Set(hdr)
+	r.Stats.Broadcasts++
+	r.Stats.Accepted++
+	return true
+}
+
+// commitTask advances Next as far as the commit rule allows (Figure 6):
+// leaders commit on a quorum of same-epoch acceptance rows; followers
+// commit from the leader's pushed commit row.
+func (r *Replica) commitTask() {
+	for {
+		ok := false
+		switch r.role {
+		case Leader:
+			cnt := 0
+			for k := 0; k < r.N; k++ {
+				row := r.acceptSST.Get(k)
+				if row.E == r.eCur && !row.Less(r.next) {
+					cnt++
+				}
+			}
+			ok = cnt >= r.majority()
+		case Follower:
+			row := r.commitSST.Get(int(r.eCur.Ldr)).Hdr
+			ok = row.E == r.eCur && !row.Less(r.next)
+		default:
+			return
+		}
+		if !ok {
+			return
+		}
+		if r.next.Cnt != 0 {
+			// Normal message commit.
+			m := r.log.Get(r.next)
+			if m == nil {
+				// The leader says Next is committed but the ring has
+				// not delivered it here yet; wait (FIFO guarantees it
+				// is coming).
+				return
+			}
+			r.deliverEntry(*m)
+			r.committed = r.next
+		} else {
+			// Diff commit: deliver every included message not yet
+			// committed here, in order.
+			for _, e := range r.log.RangeOpen(r.committed, r.next) {
+				r.deliverEntry(e)
+			}
+			// The diff itself is now committed; recording its header
+			// (rather than the last included message's) lets the
+			// pushed commit row carry the new epoch immediately, so
+			// followers need not wait for the first post-election
+			// message to learn the diff committed.
+			r.committed = r.next
+		}
+		r.next.Cnt++
+	}
+}
+
+func (r *Replica) deliverEntry(e Entry) {
+	r.Node.Proc.Pause(r.Cfg.DeliverCost)
+	r.committed = e.Hdr
+	r.Stats.Delivered++
+	if r.OnDeliver != nil {
+		r.OnDeliver(e.Hdr, e.Payload)
+	}
+}
+
+// pushCommitRow periodically publishes Committed plus a heartbeat to every
+// peer (Figure 6 lines 93-95). This is off the commit critical path for the
+// leader and doubles as the liveness signal for the failure detector.
+func (r *Replica) pushCommitRow() {
+	now := r.Sim.Now()
+	if now.Sub(r.lastCommitPush) < r.Cfg.CommitPushInterval {
+		return
+	}
+	r.lastCommitPush = now
+	r.hb++
+	r.commitSST.Set(CommitRow{Hdr: r.committed, HB: r.hb})
+	r.commitSST.PushMine()
+}
+
+// failureDetector suspects the leader when its commit row goes stale.
+func (r *Replica) failureDetector() {
+	if r.role != Follower || r.eCur.Ldr == r.ID {
+		return
+	}
+	row := r.commitSST.Get(int(r.eCur.Ldr))
+	now := r.Sim.Now()
+	if row != r.ldrRow {
+		r.ldrRow = row
+		r.ldrRowAt = now
+		return
+	}
+	if now.Sub(r.ldrRowAt) > r.Cfg.LeaderTimeout {
+		r.Suspect()
+	}
+}
+
+// Suspect abandons the current leader and falls to election. Benchmarks
+// call it directly to start election timing without waiting for the
+// detector (Table 1 excludes detection time).
+func (r *Replica) Suspect() {
+	if r.role == Electing {
+		return
+	}
+	r.role = Electing
+	r.SuspectedAt = r.Sim.Now()
+	r.Stats.Elections++
+	r.lastMaxVote = Vote{}
+	r.voteChangedAt = r.Sim.Now()
+	r.nextElection = r.Sim.Now() // first iteration runs immediately
+}
+
+// electionStep runs one iteration of the fixed-point election (Figure 7).
+// Votes only increase: a node votes for the largest vote it sees if that
+// candidate's log dominates its own, otherwise (or on candidate timeout)
+// for itself under a strictly larger epoch.
+func (r *Replica) electionStep() {
+	if r.Sim.Now() < r.nextElection {
+		return
+	}
+	r.nextElection = r.Sim.Now().Add(r.Cfg.ElectionPeriod)
+	votes := r.voteSST.Snapshot()
+	mx := Vote{}
+	for _, v := range votes {
+		if v.Cmp(mx) > 0 {
+			mx = v
+		}
+	}
+	now := r.Sim.Now()
+	if mx != r.lastMaxVote {
+		// The election is making progress; restart the candidate timer.
+		r.lastMaxVote = mx
+		r.voteChangedAt = now
+	}
+	my := votes[r.ID]
+	iAmCandidate := !my.IsZero() && my.ENew.Ldr == r.ID && my == mx
+	timedOut := !iAmCandidate && now.Sub(r.voteChangedAt) > r.Cfg.CandidateTimeout
+
+	if mx.IsZero() || timedOut || mx.Acpt.Less(r.accepted) {
+		// Vote for self with a strictly larger epoch (line 100).
+		r.eNew = NewBiggerEpoch(r.eNew, mx.ENew, r.ID)
+		nv := Vote{ENew: r.eNew, Acpt: r.accepted}
+		r.voteSST.Set(nv)
+		r.voteSST.PushMine()
+		r.voteChangedAt = now
+		r.lastMaxVote = nv
+	} else if mx.Cmp(my) > 0 && r.accepted.LessEq(mx.Acpt) {
+		// Join the max vote (line 106). The vote records the
+		// candidate's accepted header, not ours.
+		r.eNew = mx.ENew
+		r.voteSST.Set(Vote{ENew: mx.ENew, Acpt: mx.Acpt})
+		r.voteSST.PushMine()
+		r.voteChangedAt = now
+	}
+
+	// Win check (line 114): a majority of identical votes naming us.
+	cur := r.voteSST.Get(int(r.ID))
+	if cur.ENew.Ldr != r.ID || cur.IsZero() {
+		return
+	}
+	n := 0
+	for k := 0; k < r.N; k++ {
+		if r.voteSST.Get(k) == cur {
+			n++
+		}
+	}
+	if n >= r.majority() {
+		r.becomeLeader()
+	}
+}
+
+// becomeLeader transitions into broadcast (Figure 7 lines 116-126): build a
+// per-follower diff covering everything from that follower's last known
+// committed message through our last accepted message, and send it as
+// message zero of the new epoch. The election's up-to-date guarantee means
+// no state needs to be pulled from anyone first.
+func (r *Replica) becomeLeader() {
+	r.role = Leader
+	r.count = 0
+	hdr := MsgHdr{E: r.eNew, Cnt: 0}
+	comm := r.commitSST.Snapshot()
+	var idx uint64
+	for j := 0; j < r.N; j++ {
+		if j == int(r.ID) {
+			continue
+		}
+		from := comm[j].Hdr
+		entries := r.log.RangeClosed(from, r.accepted)
+		rec := EncodeDiff(hdr, from, entries)
+		i, err := r.out.Send(r.fabIDs[j], rec)
+		if err != nil {
+			panic("acuerdo: diff send failed: " + err.Error())
+		}
+		idx = i
+	}
+	r.sent = append(r.sent, sentRec{hdr: hdr, idx: idx})
+	// Self-transition: our log already matches the diff contents, so only
+	// the epoch state changes.
+	r.eCur = r.eNew
+	r.accepted = hdr
+	r.next = hdr
+	r.acceptSST.Set(hdr)
+	r.WonAt = r.Sim.Now()
+	if r.OnElected != nil {
+		r.OnElected(r.eCur)
+	}
+}
+
+// releaseRings frees broadcast ring slots. Acuerdo reuses a slot as soon as
+// the receiver has *accepted* the message; the ReleaseOnCommit ablation
+// only frees slots committed at all nodes (Derecho's policy, which couples
+// the sender to the slowest node).
+func (r *Replica) releaseRings() {
+	if len(r.sent) == 0 {
+		return
+	}
+	if r.Cfg.ReleaseOnCommit {
+		low := r.commitSST.Get(0).Hdr
+		for k := 1; k < r.N; k++ {
+			if row := r.commitSST.Get(k).Hdr; row.Less(low) {
+				low = row
+			}
+		}
+		for j := 0; j < r.N; j++ {
+			if j == int(r.ID) {
+				continue
+			}
+			r.advanceRelease(j, low)
+		}
+	} else {
+		for j := 0; j < r.N; j++ {
+			if j == int(r.ID) {
+				continue
+			}
+			r.advanceRelease(j, r.acceptSST.Get(j))
+		}
+	}
+	r.pruneSent()
+}
+
+func (r *Replica) advanceRelease(j int, upTo MsgHdr) {
+	p := r.relPtr[j]
+	moved := false
+	for p < len(r.sent) && r.sent[p].hdr.LessEq(upTo) {
+		r.released[j] = r.sent[p].idx
+		p++
+		moved = true
+	}
+	if moved {
+		r.relPtr[j] = p
+		r.out.Release(r.fabIDs[j], r.released[j])
+	}
+}
+
+// pruneSent drops release bookkeeping every replica has passed.
+func (r *Replica) pruneSent() {
+	min := len(r.sent)
+	for j := 0; j < r.N; j++ {
+		if j == int(r.ID) {
+			continue
+		}
+		if r.relPtr[j] < min {
+			min = r.relPtr[j]
+		}
+	}
+	if min > 4096 {
+		r.sent = append(r.sent[:0], r.sent[min:]...)
+		for j := range r.relPtr {
+			if j != int(r.ID) {
+				r.relPtr[j] -= min
+			}
+		}
+	}
+}
+
+// TrimLog garbage-collects log entries below the minimum committed header
+// across the group (safe: diffs are built from per-node committed rows,
+// all of which are >= this bound).
+func (r *Replica) TrimLog() {
+	low := r.commitSST.Get(0).Hdr
+	for k := 1; k < r.N; k++ {
+		if row := r.commitSST.Get(k).Hdr; row.Less(low) {
+			low = row
+		}
+	}
+	if !low.IsZero() {
+		r.log.TrimBelow(low)
+	}
+}

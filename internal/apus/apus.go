@@ -1,0 +1,300 @@
+// Package apus implements the APUS baseline (Wang et al., SoCC 2017): Paxos
+// over RDMA. The leader has exclusive write access to a log region in each
+// acceptor's memory and replicates client messages by writing log entries
+// directly with one-sided RDMA writes; acceptors acknowledge received
+// batches periodically by writing an index into the leader's memory.
+//
+// The performance-relevant properties the paper calls out are modelled
+// faithfully: APUS runs a separate consensus instance per message (a
+// per-message CPU cost at the leader), and its Paxos engine handles only a
+// single pending batch at a time — new client messages queue into the next
+// batch while the current one completes, so any delay on any message in the
+// batch stalls the whole pipeline.
+package apus
+
+import (
+	"encoding/binary"
+	"time"
+
+	"acuerdo/internal/abcast"
+	"acuerdo/internal/rdma"
+	"acuerdo/internal/ringbuf"
+	"acuerdo/internal/simnet"
+)
+
+// Config tunes the APUS baseline.
+type Config struct {
+	N int
+	// InstanceCost is leader CPU per message (one Paxos instance each).
+	InstanceCost time.Duration
+	// AcceptorCost is acceptor CPU per log entry processed.
+	AcceptorCost time.Duration
+	// AckInterval is the acceptor acknowledgment thread's period.
+	AckInterval time.Duration
+	// PollInterval/PollCost model the event loops.
+	PollInterval time.Duration
+	PollCost     time.Duration
+	// LogSlots and SlotBytes size each acceptor's log region.
+	LogSlots  int
+	SlotBytes int
+}
+
+// DefaultConfig returns calibrated APUS constants.
+func DefaultConfig(n int) Config {
+	return Config{
+		N:            n,
+		InstanceCost: 6 * time.Microsecond,
+		AcceptorCost: 500 * time.Nanosecond,
+		AckInterval:  8 * time.Microsecond,
+		PollInterval: 1 * time.Microsecond,
+		PollCost:     150 * time.Nanosecond,
+		LogSlots:     8192,
+		SlotBytes:    1100,
+	}
+}
+
+const slotHdr = 12 // index u64 + len u32
+
+// Cluster is an APUS deployment (leader = server 0) plus a client host on
+// the RDMA fabric. It implements abcast.System.
+type Cluster struct {
+	Sim    *simnet.Sim
+	Fabric *rdma.Fabric
+	cfg    Config
+
+	nodes  []*rdma.Node
+	client *rdma.Node
+
+	// Leader state.
+	queue     [][]byte // next batch accumulating
+	batchEnd  uint64   // last index of the pending batch (0 = none)
+	nextIdx   uint64   // next log index to assign (1-based)
+	committed uint64
+	logQPs    []*rdma.QP // leader -> acceptor log regions
+	commitQPs []*rdma.QP // leader -> acceptor commit registers
+	ackMR     *rdma.MR   // acceptors write ack indices here (8B per acceptor)
+
+	// Acceptor state (indexed by server).
+	logMRs    []*rdma.MR
+	commitMRs []*rdma.MR // leader publishes commit index (8B)
+	ackQPs    []*rdma.QP // acceptor -> leader ackMR
+	seen      []uint64   // acceptor: contiguous entries observed
+	acked     []uint64   // acceptor: last index acknowledged
+	delivered []uint64   // per server: entries delivered upward
+	store     [][][]byte // per server: payload by index (retained until delivered)
+
+	// Client rings.
+	reqOut *ringbuf.Sender
+	reqIn  *ringbuf.Receiver
+	ackOut *ringbuf.Sender
+	ackIn  *ringbuf.Receiver
+
+	pending map[uint64]func()
+
+	// OnDeliver observes every delivery.
+	OnDeliver func(replica int, index uint64, payload []byte)
+}
+
+// NewCluster builds the deployment.
+func NewCluster(sim *simnet.Sim, fabric *rdma.Fabric, cfg Config) *Cluster {
+	c := &Cluster{
+		Sim: sim, Fabric: fabric, cfg: cfg,
+		nextIdx: 1,
+		pending: make(map[uint64]func()),
+	}
+	c.nodes = make([]*rdma.Node, cfg.N)
+	for i := range c.nodes {
+		c.nodes[i] = fabric.AddNode("apus")
+	}
+	c.client = fabric.AddNode("apus-client")
+
+	leader := c.nodes[0]
+	c.logMRs = make([]*rdma.MR, cfg.N)
+	c.commitMRs = make([]*rdma.MR, cfg.N)
+	c.logQPs = make([]*rdma.QP, cfg.N)
+	c.commitQPs = make([]*rdma.QP, cfg.N)
+	c.ackQPs = make([]*rdma.QP, cfg.N)
+	c.seen = make([]uint64, cfg.N)
+	c.acked = make([]uint64, cfg.N)
+	c.delivered = make([]uint64, cfg.N)
+	c.store = make([][][]byte, cfg.N)
+	c.ackMR = leader.RegisterMemory(8 * cfg.N)
+	for i := 1; i < cfg.N; i++ {
+		c.logMRs[i] = c.nodes[i].RegisterMemory(cfg.LogSlots * cfg.SlotBytes)
+		c.commitMRs[i] = c.nodes[i].RegisterMemory(8)
+		c.logQPs[i] = leader.Connect(c.nodes[i], rdma.NewCQ())
+		c.commitQPs[i] = leader.Connect(c.nodes[i], rdma.NewCQ())
+		c.ackQPs[i] = c.nodes[i].Connect(leader, rdma.NewCQ())
+	}
+
+	ringCfg := ringbuf.Config{Bytes: 1 << 20, Backlog: true}
+	c.reqOut = ringbuf.NewSender(c.client, ringCfg)
+	c.reqIn = c.reqOut.AddPeer(leader)
+	c.ackOut = ringbuf.NewSender(leader, ringCfg)
+	c.ackIn = c.ackOut.AddPeer(c.client)
+	return c
+}
+
+// Start boots the leader, acceptor, and client loops.
+func (c *Cluster) Start() {
+	c.nodes[0].Proc.PollLoop(c.cfg.PollInterval, c.cfg.PollCost, c.leaderPoll)
+	for i := 1; i < c.cfg.N; i++ {
+		i := i
+		c.nodes[i].Proc.PollLoop(c.cfg.AckInterval, c.cfg.PollCost, func() { c.acceptorPoll(i) })
+	}
+	c.client.Proc.PollLoop(500*time.Nanosecond, 100*time.Nanosecond, c.clientPoll)
+}
+
+// leaderPoll drains client requests, seals batches, and commits on quorum
+// acknowledgment.
+func (c *Cluster) leaderPoll() {
+	for _, req := range c.reqIn.Poll(0) {
+		c.queue = append(c.queue, req)
+	}
+	c.reqIn.ReturnCredits()
+	// Commit check: quorum of acceptors (plus the leader itself) at or
+	// beyond the pending batch end.
+	if c.batchEnd > 0 {
+		n := 1 // leader
+		for i := 1; i < c.cfg.N; i++ {
+			if binary.LittleEndian.Uint64(c.ackMR.Buf[8*i:]) >= c.batchEnd {
+				n++
+			}
+		}
+		if n >= c.cfg.N/2+1 {
+			end := c.batchEnd
+			c.batchEnd = 0
+			c.commitUpTo(end)
+		}
+	}
+	// Single pending batch: seal the next one only when none is pending.
+	if c.batchEnd == 0 && len(c.queue) > 0 {
+		c.sendBatch()
+	}
+}
+
+// sendBatch replicates every queued message as one batch: one log-entry
+// write per acceptor per message, each message paying its own Paxos
+// instance cost at the leader.
+func (c *Cluster) sendBatch() {
+	batch := c.queue
+	c.queue = nil
+	leader := c.nodes[0]
+	for _, payload := range batch {
+		idx := c.nextIdx
+		c.nextIdx++
+		leader.Proc.Pause(c.cfg.InstanceCost)
+		if c.store[0] == nil {
+			c.store[0] = [][]byte{nil}
+		}
+		c.store[0] = append(c.store[0], payload)
+		slot := make([]byte, slotHdr+len(payload))
+		binary.LittleEndian.PutUint64(slot, idx)
+		binary.LittleEndian.PutUint32(slot[8:], uint32(len(payload)))
+		copy(slot[slotHdr:], payload)
+		off := int(idx%uint64(c.cfg.LogSlots)) * c.cfg.SlotBytes
+		for i := 1; i < c.cfg.N; i++ {
+			if _, err := c.logQPs[i].Write(c.logMRs[i], off, slot); err != nil && err != rdma.ErrSendQueueFull {
+				panic("apus: log write failed: " + err.Error())
+			}
+		}
+		c.batchEnd = idx
+	}
+}
+
+// commitUpTo delivers entries at the leader and publishes the commit index
+// to acceptors.
+func (c *Cluster) commitUpTo(end uint64) {
+	for c.delivered[0] < end {
+		c.delivered[0]++
+		payload := c.store[0][c.delivered[0]]
+		if c.OnDeliver != nil {
+			c.OnDeliver(0, c.delivered[0], payload)
+		}
+		if len(payload) >= 8 {
+			if _, err := c.ackOut.Send(c.client.ID, payload[:8]); err != nil {
+				panic("apus: client ack failed: " + err.Error())
+			}
+		}
+	}
+	c.committed = end
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], end)
+	for i := 1; i < c.cfg.N; i++ {
+		if _, err := c.commitQPs[i].Write(c.commitMRs[i], 0, buf[:]); err != nil && err != rdma.ErrSendQueueFull {
+			panic("apus: commit write failed: " + err.Error())
+		}
+	}
+}
+
+// acceptorPoll is the periodic acknowledgment thread: observe new
+// contiguous log entries, ack the highest index, and deliver committed
+// entries.
+func (c *Cluster) acceptorPoll(i int) {
+	if c.store[i] == nil {
+		c.store[i] = [][]byte{nil}
+	}
+	// Scan forward from the last seen entry.
+	for {
+		next := c.seen[i] + 1
+		off := int(next%uint64(c.cfg.LogSlots)) * c.cfg.SlotBytes
+		buf := c.logMRs[i].Buf
+		idx := binary.LittleEndian.Uint64(buf[off:])
+		if idx != next {
+			break
+		}
+		ln := int(binary.LittleEndian.Uint32(buf[off+8:]))
+		payload := make([]byte, ln)
+		copy(payload, buf[off+slotHdr:off+slotHdr+ln])
+		c.store[i] = append(c.store[i], payload)
+		c.seen[i] = next
+		c.nodes[i].Proc.Pause(c.cfg.AcceptorCost)
+	}
+	if c.seen[i] > c.acked[i] {
+		c.acked[i] = c.seen[i]
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], c.acked[i])
+		if _, err := c.ackQPs[i].Write(c.ackMR, 8*i, buf[:]); err != nil && err != rdma.ErrSendQueueFull {
+			panic("apus: ack write failed: " + err.Error())
+		}
+	}
+	// Deliver what the leader has committed.
+	commit := binary.LittleEndian.Uint64(c.commitMRs[i].Buf)
+	for c.delivered[i] < commit && c.delivered[i] < c.seen[i] {
+		c.delivered[i]++
+		if c.OnDeliver != nil {
+			c.OnDeliver(i, c.delivered[i], c.store[i][c.delivered[i]])
+		}
+	}
+}
+
+func (c *Cluster) clientPoll() {
+	defer c.ackIn.ReturnCredits()
+	for _, ack := range c.ackIn.Poll(0) {
+		id := abcast.MsgID(ack)
+		if done, ok := c.pending[id]; ok {
+			delete(c.pending, id)
+			if done != nil {
+				done()
+			}
+		}
+	}
+}
+
+// Name implements abcast.System.
+func (c *Cluster) Name() string { return "apus" }
+
+// Ready implements abcast.System.
+func (c *Cluster) Ready() bool { return !c.nodes[0].Crashed() }
+
+// Submit implements abcast.System.
+func (c *Cluster) Submit(payload []byte, done func()) {
+	id := abcast.MsgID(payload)
+	c.pending[id] = done
+	c.client.Proc.Pause(300 * time.Nanosecond)
+	if _, err := c.reqOut.Send(c.nodes[0].ID, payload); err != nil {
+		panic("apus: request send failed: " + err.Error())
+	}
+}
+
+var _ abcast.System = (*Cluster)(nil)

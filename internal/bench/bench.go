@@ -1,0 +1,418 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure in the paper's evaluation (§4): the latency/throughput curves of
+// Figure 8, the election durations of Table 1, and the YCSB-load comparison
+// of Figure 9. See DESIGN.md's per-experiment index.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"acuerdo/internal/abcast"
+	"acuerdo/internal/acuerdo"
+	"acuerdo/internal/apus"
+	"acuerdo/internal/derecho"
+	"acuerdo/internal/paxos"
+	"acuerdo/internal/raft"
+	"acuerdo/internal/rdma"
+	"acuerdo/internal/simnet"
+	"acuerdo/internal/tcpnet"
+	"acuerdo/internal/zab"
+)
+
+// Kind names one of the seven evaluated systems.
+type Kind string
+
+// The systems of Figure 8, in the paper's legend order.
+const (
+	Acuerdo       Kind = "acuerdo"
+	DerechoAll    Kind = "derecho-all"
+	DerechoLeader Kind = "derecho-leader"
+	Etcd          Kind = "etcd"
+	Libpaxos      Kind = "libpaxos"
+	Zookeeper     Kind = "zookeeper"
+	Apus          Kind = "apus"
+)
+
+// AllKinds lists every system in the Figure 8 comparison.
+var AllKinds = []Kind{Acuerdo, DerechoAll, DerechoLeader, Etcd, Libpaxos, Zookeeper, Apus}
+
+// Instance is one booted system ready for load.
+type Instance struct {
+	Sim *simnet.Sim
+	Sys abcast.System
+	N   int
+
+	// setApply installs a per-replica delivery hook (payload only), used
+	// by the YCSB experiment to feed the replicated hash table.
+	setApply func(func(replica int, payload []byte))
+
+	// AcuerdoCluster is set when Kind == Acuerdo (election experiment).
+	AcuerdoCluster *acuerdo.Cluster
+	// DerechoCluster is set for the Derecho kinds (fault-injection
+	// ablations).
+	DerechoCluster *derecho.Cluster
+}
+
+// Options tweaks instance construction.
+type Options struct {
+	// Desched injects scheduler noise into every replica (Acuerdo only;
+	// used by the Table 1 experiment).
+	Desched *simnet.DeschedConfig
+	// AcuerdoConfig overrides the replica config (ablations).
+	AcuerdoConfig *acuerdo.Config
+}
+
+// NewInstance builds, starts, and warms up (leader elected) one system.
+func NewInstance(kind Kind, n int, seed int64, opt Options) *Instance {
+	sim := simnet.New(seed)
+	inst := &Instance{Sim: sim, N: n}
+	switch kind {
+	case Acuerdo:
+		fabric := rdma.NewFabric(sim, rdma.DefaultParams())
+		cfg := acuerdo.DefaultClusterConfig(n)
+		if opt.AcuerdoConfig != nil {
+			cfg.Replica = *opt.AcuerdoConfig
+		}
+		cfg.Desched = opt.Desched
+		c := acuerdo.NewCluster(sim, fabric, cfg)
+		c.Start()
+		inst.Sys = c
+		inst.AcuerdoCluster = c
+		inst.setApply = func(apply func(int, []byte)) {
+			c.OnDeliver = func(replica int, hdr acuerdo.MsgHdr, payload []byte) {
+				apply(replica, payload)
+			}
+		}
+	case DerechoLeader, DerechoAll:
+		fabric := rdma.NewFabric(sim, rdma.DefaultParams())
+		mode := derecho.LeaderMode
+		if kind == DerechoAll {
+			mode = derecho.AllMode
+		}
+		c := derecho.NewCluster(sim, fabric, derecho.DefaultConfig(n, mode))
+		c.Start()
+		inst.Sys = c
+		inst.DerechoCluster = c
+		inst.setApply = func(apply func(int, []byte)) {
+			c.OnDeliver = func(replica, sender int, idx uint64, payload []byte) {
+				apply(replica, payload)
+			}
+		}
+	case Apus:
+		fabric := rdma.NewFabric(sim, rdma.DefaultParams())
+		c := apus.NewCluster(sim, fabric, apus.DefaultConfig(n))
+		c.Start()
+		inst.Sys = c
+		inst.setApply = func(apply func(int, []byte)) {
+			c.OnDeliver = func(replica int, idx uint64, payload []byte) {
+				apply(replica, payload)
+			}
+		}
+	case Libpaxos:
+		net := tcpnet.New(sim, tcpnet.DefaultParams())
+		c := paxos.NewCluster(sim, net, paxos.DefaultConfig(n))
+		c.Start()
+		inst.Sys = c
+		inst.setApply = func(apply func(int, []byte)) {
+			c.OnDeliver = func(replica int, inst uint64, payload []byte) {
+				apply(replica, payload)
+			}
+		}
+	case Zookeeper:
+		net := tcpnet.New(sim, tcpnet.DefaultParams())
+		c := zab.NewCluster(sim, net, zab.DefaultConfig(n))
+		c.Start()
+		inst.Sys = c
+		inst.setApply = func(apply func(int, []byte)) {
+			c.OnDeliver = func(replica int, zxid uint64, payload []byte) {
+				apply(replica, payload)
+			}
+		}
+	case Etcd:
+		net := tcpnet.New(sim, tcpnet.DefaultParams())
+		c := raft.NewCluster(sim, net, raft.DefaultConfig(n))
+		c.Start()
+		inst.Sys = c
+		inst.setApply = func(apply func(int, []byte)) {
+			c.OnDeliver = func(replica, idx int, payload []byte) {
+				apply(replica, payload)
+			}
+		}
+	default:
+		panic("bench: unknown system " + string(kind))
+	}
+	// Warm up until a leader serves.
+	for i := 0; i < 400 && !inst.Sys.Ready(); i++ {
+		sim.RunFor(5 * time.Millisecond)
+	}
+	if !inst.Sys.Ready() {
+		panic(fmt.Sprintf("bench: %s/%d never became ready", kind, n))
+	}
+	return inst
+}
+
+// --- Figure 8: broadcast latency/throughput under varying load ---
+
+// Fig8Config parameterizes one subfigure.
+type Fig8Config struct {
+	Nodes   int
+	MsgSize int
+	Windows []int
+	Warmup  time.Duration
+	Measure time.Duration
+	Seed    int64
+}
+
+// DefaultWindows is the paper's 2^0..2^N load ladder.
+var DefaultWindows = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// DefaultFig8 returns the configuration for one of the four subfigures.
+func DefaultFig8(nodes, msgSize int) Fig8Config {
+	return Fig8Config{
+		Nodes:   nodes,
+		MsgSize: msgSize,
+		Windows: DefaultWindows,
+		Warmup:  4 * time.Millisecond,
+		Measure: 20 * time.Millisecond,
+		Seed:    1,
+	}
+}
+
+// SweepSystem measures one system across the window ladder; each point runs
+// on a fresh instance for independence.
+func SweepSystem(kind Kind, cfg Fig8Config) []abcast.LoadResult {
+	out := make([]abcast.LoadResult, 0, len(cfg.Windows))
+	for i, w := range cfg.Windows {
+		inst := NewInstance(kind, cfg.Nodes, cfg.Seed+int64(i), Options{})
+		res := abcast.RunClosedLoop(inst.Sim, inst.Sys, abcast.LoadConfig{
+			Window:  w,
+			MsgSize: cfg.MsgSize,
+			Warmup:  cfg.Warmup,
+			Measure: cfg.Measure,
+		})
+		out = append(out, res)
+	}
+	return out
+}
+
+// Figure8 runs every system for one subfigure.
+func Figure8(cfg Fig8Config, kinds []Kind) map[Kind][]abcast.LoadResult {
+	if kinds == nil {
+		kinds = AllKinds
+	}
+	out := make(map[Kind][]abcast.LoadResult, len(kinds))
+	for _, k := range kinds {
+		out[k] = SweepSystem(k, cfg)
+	}
+	return out
+}
+
+// PrintFigure8 renders one subfigure's series as the paper's
+// (throughput, latency) curves.
+func PrintFigure8(w io.Writer, title string, cfg Fig8Config, results map[Kind][]abcast.LoadResult, kinds []Kind) {
+	if kinds == nil {
+		kinds = AllKinds
+	}
+	fmt.Fprintf(w, "%s (%d nodes, %dB messages; window %v)\n", title, cfg.Nodes, cfg.MsgSize, cfg.Windows)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "system\twindow\tthroughput(MB/s)\tthroughput(msg/s)\tlat-mean(us)\tlat-p50(us)\tlat-p99(us)\n")
+	for _, k := range kinds {
+		for _, r := range results[k] {
+			fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.0f\t%.1f\t%.1f\t%.1f\n",
+				r.System, r.Window, r.MBPerSec, r.MsgsPerSec,
+				us(r.Latency.Mean()), us(r.Latency.Percentile(50)), us(r.Latency.Percentile(99)))
+		}
+	}
+	tw.Flush()
+}
+
+func us(d time.Duration) float64 { return float64(d) / 1e3 }
+
+// --- Table 1: election duration vs replica count ---
+
+// ElectionConfig parameterizes the Table 1 experiment.
+type ElectionConfig struct {
+	Nodes  int
+	Rounds int
+	Seed   int64
+	// ProposeEvery is the open-loop message rate at the leader.
+	ProposeEvery time.Duration
+	// PauseFor is how long a deposed leader sleeps (the paper used 5s;
+	// anything far above the failure timeout behaves identically).
+	PauseFor time.Duration
+	// Desched is the background scheduler noise on every replica.
+	Desched *simnet.DeschedConfig
+	// LongLatency is the number of "long-latency" machines in the cluster
+	// (§4.2: the paper's testbed had a fixed machine pool whose slower
+	// machines necessarily join larger clusters; election duration tracked
+	// the proportion of such nodes far more than the replica count).
+	LongLatency int
+	// LLDesched is the long-latency machines' pause model.
+	LLDesched *simnet.DeschedConfig
+}
+
+// DefaultElection returns the calibrated Table 1 configuration: two of the
+// pool's nine machines are long-latency, so a cluster of n includes
+// floor(2n/9) of them.
+func DefaultElection(n int) ElectionConfig {
+	return ElectionConfig{
+		Nodes:        n,
+		Rounds:       20,
+		Seed:         1,
+		ProposeEvery: 50 * time.Microsecond,
+		PauseFor:     40 * time.Millisecond,
+		Desched: &simnet.DeschedConfig{
+			Interval: simnet.Exponential{MeanD: 20 * time.Millisecond, Cap: 100 * time.Millisecond},
+			Pause:    simnet.Exponential{MeanD: 60 * time.Microsecond, Cap: 2 * time.Millisecond},
+		},
+		LongLatency: 2 * n / 9,
+		LLDesched: &simnet.DeschedConfig{
+			Interval: simnet.Exponential{MeanD: 8 * time.Millisecond, Cap: 40 * time.Millisecond},
+			Pause:    simnet.LogNormal{Mu: 15.9, Sigma: 0.8, Cap: 50 * time.Millisecond}, // ~8ms median
+		},
+	}
+}
+
+// ElectionResult is one Table 1 cell.
+type ElectionResult struct {
+	Nodes     int
+	Rounds    int
+	Durations []time.Duration
+}
+
+// Avg returns the mean election duration (the paper's reported statistic).
+func (r ElectionResult) Avg() time.Duration {
+	if len(r.Durations) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range r.Durations {
+		sum += d
+	}
+	return sum / time.Duration(len(r.Durations))
+}
+
+// ElectionBench repeatedly deposes the Acuerdo leader (it "sleeps" after
+// winning, as in the paper) and measures, at each new winner, the time from
+// its own suspicion of the old leader until it finished the election and
+// diff transfer and could broadcast — detection time excluded, diff
+// transfer included, exactly as §4.2 specifies.
+func ElectionBench(cfg ElectionConfig) ElectionResult {
+	acfg := acuerdo.DefaultConfig()
+	acfg.CandidateTimeout = 2 * time.Millisecond
+	inst := NewInstance(Acuerdo, cfg.Nodes, cfg.Seed, Options{
+		Desched:       cfg.Desched,
+		AcuerdoConfig: &acfg,
+	})
+	c := inst.AcuerdoCluster
+	sim := inst.Sim
+	// The long-latency machines (spread away from the initial leader so
+	// they act as regular followers).
+	if cfg.LLDesched != nil {
+		ldr := c.LeaderIdx()
+		for k := 0; k < cfg.LongLatency; k++ {
+			d := *cfg.LLDesched
+			c.Replicas[(ldr+1+k)%cfg.Nodes].Node.Proc.SetDesched(&d)
+		}
+	}
+	res := ElectionResult{Nodes: cfg.Nodes, Rounds: cfg.Rounds}
+
+	// Open-loop proposer: the leader streams 10-byte messages.
+	var seq uint64
+	var pump func()
+	pump = func() {
+		if ldr := c.Leader(); ldr != nil {
+			seq++
+			p := make([]byte, 10)
+			abcast.PutMsgID(p, seq)
+			ldr.Broadcast(p)
+		}
+		sim.After(cfg.ProposeEvery, pump)
+	}
+	pump()
+	sim.RunFor(20 * time.Millisecond)
+
+	for round := 0; round < cfg.Rounds; round++ {
+		ldr := c.LeaderIdx()
+		if ldr < 0 {
+			sim.RunFor(20 * time.Millisecond)
+			continue
+		}
+		oldEpoch := c.Replicas[ldr].Epoch()
+		// The winner sleeps: heartbeats stop, survivors detect and elect.
+		c.Replicas[ldr].Node.Proc.Pause(cfg.PauseFor)
+		deadline := sim.Now().Add(2 * time.Second)
+		for sim.Now() < deadline {
+			sim.RunFor(2 * time.Millisecond)
+			if i := c.LeaderIdx(); i >= 0 && i != ldr && oldEpoch.Less(c.Replicas[i].Epoch()) {
+				break
+			}
+		}
+		if i := c.LeaderIdx(); i >= 0 && i != ldr {
+			w := c.Replicas[i]
+			res.Durations = append(res.Durations, w.WonAt.Sub(w.SuspectedAt))
+		}
+		// Let the old leader wake and rejoin before the next round.
+		sim.RunFor(cfg.PauseFor + 20*time.Millisecond)
+	}
+	return res
+}
+
+// CriticalElection returns the long-latency-critical variant: f of the
+// replicas are long-latency machines, which makes the quorum depend on at
+// least one of them in every election. This is the regime the paper's §4.2
+// observation describes ("election times were far more sensitive to the
+// proportion of long-latency nodes than to the overall number of replicas").
+func CriticalElection(n int) ElectionConfig {
+	cfg := DefaultElection(n)
+	cfg.LongLatency = (n - 1) / 2
+	cfg.LLDesched = &simnet.DeschedConfig{
+		Interval: simnet.Exponential{MeanD: 6 * time.Millisecond, Cap: 30 * time.Millisecond},
+		Pause:    simnet.LogNormal{Mu: 15.4, Sigma: 1.0, Cap: 30 * time.Millisecond},
+	}
+	return cfg
+}
+
+// Table1Row pairs the quiet and long-latency-critical measurements for one
+// replica count.
+type Table1Row struct {
+	Quiet    ElectionResult
+	Critical ElectionResult
+}
+
+// Table1 runs the election experiment across replica counts, in both the
+// quiet configuration and the long-latency-critical one.
+func Table1(counts []int, rounds int, seed int64) []Table1Row {
+	if counts == nil {
+		counts = []int{3, 5, 7, 9}
+	}
+	out := make([]Table1Row, 0, len(counts))
+	for _, n := range counts {
+		q := DefaultElection(n)
+		q.Rounds = rounds
+		q.Seed = seed
+		c := CriticalElection(n)
+		c.Rounds = rounds
+		c.Seed = seed
+		out = append(out, Table1Row{Quiet: ElectionBench(q), Critical: ElectionBench(c)})
+	}
+	return out
+}
+
+// PrintTable1 renders Table 1: the paper reports a single average per
+// replica count; we report the quiet-cluster average plus the
+// long-latency-critical average (see EXPERIMENTS.md for the analysis).
+func PrintTable1(w io.Writer, results []Table1Row) {
+	fmt.Fprintln(w, "Table 1: average Acuerdo election duration (includes diff transfer)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "replicas\telections\tavg(quiet)\tavg(long-latency-critical)\n")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%d\t%d\t%.2fms\t%.2fms\n",
+			r.Quiet.Nodes, len(r.Quiet.Durations),
+			float64(r.Quiet.Avg())/1e6, float64(r.Critical.Avg())/1e6)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"acuerdo/internal/kvstore"
+	"acuerdo/internal/metrics"
+	"acuerdo/internal/ycsb"
+)
+
+// YCSBConfig parameterizes the Figure 9 experiment: the YCSB-load workload
+// (100% writes, zipfian .99) against the replicated hash table.
+type YCSBConfig struct {
+	Nodes   int
+	Window  int // concurrent client operations
+	Records uint64
+	Value   int // value bytes per write
+	Warmup  time.Duration
+	Measure time.Duration
+	Seed    int64
+}
+
+// DefaultYCSB returns the calibrated Figure 9 configuration.
+func DefaultYCSB(nodes int) YCSBConfig {
+	return YCSBConfig{
+		Nodes:   nodes,
+		Window:  64,
+		Records: 10000,
+		Value:   100,
+		Warmup:  5 * time.Millisecond,
+		Measure: 30 * time.Millisecond,
+		Seed:    1,
+	}
+}
+
+// YCSBResult is one Figure 9 point.
+type YCSBResult struct {
+	System    string
+	Nodes     int
+	Committed int
+	OpsPerSec float64
+	Latency   metrics.Histogram
+}
+
+// YCSBSystems is the Figure 9 comparison set.
+var YCSBSystems = []Kind{Acuerdo, Etcd, Zookeeper}
+
+// RunYCSB drives the replicated hash table over one system with a
+// closed-loop YCSB-load client.
+func RunYCSB(kind Kind, cfg YCSBConfig) YCSBResult {
+	inst := NewInstance(kind, cfg.Nodes, cfg.Seed, Options{})
+	rm := kvstore.NewReplicated(inst.Sys, cfg.Nodes)
+	inst.setApply(func(replica int, payload []byte) {
+		// Engine payloads are always ops here.
+		if err := rm.ApplyAt(replica, payload); err != nil {
+			panic(fmt.Sprintf("bench: bad op delivered: %v", err))
+		}
+	})
+	w := ycsb.NewWorkload(cfg.Records, cfg.Value, 0.99, cfg.Seed)
+	res := YCSBResult{System: inst.Sys.Name(), Nodes: cfg.Nodes}
+	measuring := false
+
+	var submit func()
+	submit = func() {
+		if !inst.Sys.Ready() {
+			inst.Sim.After(time.Millisecond, submit)
+			return
+		}
+		key, value := w.NextOp()
+		sent := inst.Sim.Now()
+		rm.Set(key, value, func() {
+			if measuring {
+				res.Committed++
+				res.Latency.Add(inst.Sim.Now().Sub(sent))
+			}
+			submit()
+		})
+	}
+	for i := 0; i < cfg.Window; i++ {
+		submit()
+	}
+	inst.Sim.RunFor(cfg.Warmup)
+	measuring = true
+	start := inst.Sim.Now()
+	inst.Sim.RunFor(cfg.Measure)
+	measuring = false
+	res.OpsPerSec = metrics.Throughput(res.Committed, inst.Sim.Now().Sub(start))
+	return res
+}
+
+// Figure9 runs YCSB-load across node counts for the comparison systems.
+func Figure9(counts []int, seed int64) map[Kind][]YCSBResult {
+	if counts == nil {
+		counts = []int{3, 5, 7, 9}
+	}
+	out := make(map[Kind][]YCSBResult)
+	for _, k := range YCSBSystems {
+		for _, n := range counts {
+			cfg := DefaultYCSB(n)
+			cfg.Seed = seed
+			out[k] = append(out[k], RunYCSB(k, cfg))
+		}
+	}
+	return out
+}
+
+// PrintFigure9 renders Figure 9.
+func PrintFigure9(w io.Writer, results map[Kind][]YCSBResult) {
+	fmt.Fprintln(w, "Figure 9: YCSB-load throughput (ops/sec) vs node count")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "system\tnodes\tops/sec\tlat-mean(us)\n")
+	for _, k := range YCSBSystems {
+		for _, r := range results[k] {
+			fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.1f\n", r.System, r.Nodes, r.OpsPerSec, us(r.Latency.Mean()))
+		}
+	}
+	tw.Flush()
+}

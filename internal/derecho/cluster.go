@@ -1,0 +1,149 @@
+package derecho
+
+import (
+	"time"
+
+	"acuerdo/internal/abcast"
+	"acuerdo/internal/rdma"
+	"acuerdo/internal/ringbuf"
+	"acuerdo/internal/simnet"
+)
+
+// Cluster wraps a Group with an external client machine and implements
+// abcast.System. In leader mode all requests go to the view leader; in
+// all-to-all mode the client spreads requests round-robin across members
+// (each member multicasts its own share, as in the paper's derecho-all
+// runs). A member acknowledges a request to the client when it delivers
+// its own message (the virtual-synchrony stability point).
+type Cluster struct {
+	Sim    *simnet.Sim
+	Fabric *rdma.Fabric
+	Group  *Group
+
+	client *rdma.Node
+	reqOut *ringbuf.Sender
+	reqIn  []*ringbuf.Receiver
+	ackOut []*ringbuf.Sender
+	ackIn  []*ringbuf.Receiver
+
+	pending map[uint64]func()
+	rr      int
+
+	// OnDeliver observes every data delivery at every member.
+	OnDeliver func(replica, sender int, idx uint64, payload []byte)
+}
+
+// NewCluster builds a Derecho group plus client on the fabric.
+func NewCluster(sim *simnet.Sim, fabric *rdma.Fabric, cfg Config) *Cluster {
+	c := &Cluster{Sim: sim, Fabric: fabric, pending: make(map[uint64]func())}
+	c.Group = NewGroup(sim, fabric, cfg)
+	c.client = fabric.AddNode("derecho-client")
+	ringCfg := ringbuf.Config{Bytes: 1 << 20, Backlog: true}
+	c.reqOut = ringbuf.NewSender(c.client, ringCfg)
+	c.reqIn = make([]*ringbuf.Receiver, cfg.N)
+	c.ackOut = make([]*ringbuf.Sender, cfg.N)
+	c.ackIn = make([]*ringbuf.Receiver, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		c.reqIn[i] = c.reqOut.AddPeer(c.Group.Node(i))
+		c.ackOut[i] = ringbuf.NewSender(c.Group.Node(i), ringCfg)
+		c.ackIn[i] = c.ackOut[i].AddPeer(c.client)
+	}
+	c.Group.OnDeliver = func(replica, sender int, idx uint64, payload []byte) {
+		if replica == sender && len(payload) >= 8 {
+			if _, err := c.ackOut[replica].Send(c.client.ID, payload[:8]); err != nil {
+				panic("derecho: client ack failed: " + err.Error())
+			}
+		}
+		if c.OnDeliver != nil {
+			c.OnDeliver(replica, sender, idx, payload)
+		}
+	}
+	return c
+}
+
+// Start boots the group, per-member request pumps, and the client loop.
+func (c *Cluster) Start() {
+	c.Group.Start()
+	for i := 0; i < c.Group.Cfg.N; i++ {
+		i := i
+		c.Group.Node(i).Proc.PollLoop(c.Group.Cfg.PollInterval, 100*time.Nanosecond, func() {
+			for _, req := range c.reqIn[i].Poll(0) {
+				c.Group.Submit(i, req)
+			}
+			c.reqIn[i].ReturnCredits()
+		})
+	}
+	c.client.Proc.PollLoop(500*time.Nanosecond, 100*time.Nanosecond, func() {
+		for i := range c.ackIn {
+			for _, ack := range c.ackIn[i].Poll(0) {
+				id := abcast.MsgID(ack)
+				if done, ok := c.pending[id]; ok {
+					delete(c.pending, id)
+					if done != nil {
+						done()
+					}
+				}
+			}
+			c.ackIn[i].ReturnCredits()
+		}
+	})
+}
+
+// Name implements abcast.System.
+func (c *Cluster) Name() string { return c.Group.Cfg.Mode.String() }
+
+// Ready implements abcast.System.
+func (c *Cluster) Ready() bool {
+	s := c.Group.Sender(c.liveProbe())
+	return s >= 0 && !c.Group.Node(s).Crashed()
+}
+
+// liveProbe returns a live member whose view state we can consult.
+func (c *Cluster) liveProbe() int {
+	for i := 0; i < c.Group.Cfg.N; i++ {
+		if !c.Group.Node(i).Crashed() {
+			return i
+		}
+	}
+	return 0
+}
+
+// Submit implements abcast.System.
+func (c *Cluster) Submit(payload []byte, done func()) {
+	id := abcast.MsgID(payload)
+	c.pending[id] = done
+	c.send(id, payload)
+}
+
+func (c *Cluster) send(id uint64, payload []byte) {
+	var target int
+	probe := c.liveProbe()
+	if c.Group.Cfg.Mode == LeaderMode {
+		target = c.Group.Sender(probe)
+		if target < 0 || c.Group.Node(target).Crashed() {
+			c.Sim.After(time.Millisecond, func() { c.retry(id, payload) })
+			return
+		}
+	} else {
+		members := c.Group.Members(probe)
+		if len(members) == 0 {
+			c.Sim.After(time.Millisecond, func() { c.retry(id, payload) })
+			return
+		}
+		target = members[c.rr%len(members)]
+		c.rr++
+	}
+	c.client.Proc.Pause(300 * time.Nanosecond)
+	if _, err := c.reqOut.Send(c.Group.Node(target).ID, payload); err != nil {
+		panic("derecho: request send failed: " + err.Error())
+	}
+	c.Sim.After(10*time.Millisecond, func() { c.retry(id, payload) })
+}
+
+func (c *Cluster) retry(id uint64, payload []byte) {
+	if _, ok := c.pending[id]; ok {
+		c.send(id, payload)
+	}
+}
+
+var _ abcast.System = (*Cluster)(nil)

@@ -1,0 +1,142 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"acuerdo/internal/acuerdo"
+	"acuerdo/internal/rdma"
+	"acuerdo/internal/simnet"
+)
+
+func TestOpRoundTrip(t *testing.T) {
+	f := func(id uint64, key string, value []byte) bool {
+		if len(key) > 60000 {
+			key = key[:60000]
+		}
+		op := Op{ID: id, Kind: OpSet, Key: key, Value: value}
+		got, err := DecodeOp(op.Encode())
+		if err != nil {
+			return false
+		}
+		return got.ID == id && got.Kind == OpSet && got.Key == key &&
+			bytes.Equal(got.Value, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeOp([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short op accepted")
+	}
+	op := Op{ID: 1, Kind: OpSet, Key: "k", Value: []byte("v")}
+	enc := op.Encode()
+	enc[8] = 99
+	if _, err := DecodeOp(enc); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := DecodeOp(op.Encode()[:16]); err == nil {
+		t.Fatal("truncated op accepted")
+	}
+}
+
+func TestStoreApply(t *testing.T) {
+	s := NewStore()
+	s.Apply(Op{Kind: OpCreate, Key: "a", Value: []byte("1")})
+	s.Apply(Op{Kind: OpSet, Key: "a", Value: []byte("2")})
+	if v, ok := s.Get("a"); !ok || string(v) != "2" {
+		t.Fatalf("a = %q/%v", v, ok)
+	}
+	s.Apply(Op{Kind: OpDelete, Key: "a"})
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("delete did not remove key")
+	}
+	if s.Applied != 3 {
+		t.Fatalf("applied = %d", s.Applied)
+	}
+}
+
+// TestReplicatedOverAcuerdo runs the full §4.3 stack: a replicated hash
+// table over a live Acuerdo instance.
+func TestReplicatedOverAcuerdo(t *testing.T) {
+	sim := simnet.New(1)
+	fabric := rdma.NewFabric(sim, rdma.DefaultParams())
+	cl := acuerdo.NewCluster(sim, fabric, acuerdo.DefaultClusterConfig(3))
+	rm := NewReplicated(cl, 3)
+	cl.OnDeliver = func(replica int, hdr acuerdo.MsgHdr, payload []byte) {
+		if err := rm.ApplyAt(replica, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Start()
+	sim.RunFor(20 * time.Millisecond)
+
+	done := 0
+	rm.Set("alpha", []byte("1"), func() { done++ })
+	rm.Set("beta", []byte("2"), func() { done++ })
+	rm.Set("alpha", []byte("3"), func() { done++ })
+	rm.Delete("beta", func() { done++ })
+	sim.RunFor(10 * time.Millisecond)
+	if done != 4 {
+		t.Fatalf("committed %d of 4", done)
+	}
+	// Every replica converged to the same table; reads bypass broadcast.
+	for i := 0; i < 3; i++ {
+		if v, ok := rm.Get(i, "alpha"); !ok || string(v) != "3" {
+			t.Fatalf("replica %d: alpha = %q/%v", i, v, ok)
+		}
+		if _, ok := rm.Get(i, "beta"); ok {
+			t.Fatalf("replica %d: beta survived delete", i)
+		}
+	}
+}
+
+// TestReplicasConvergeAfterFailover: updates across a leader crash leave
+// all surviving replicas with identical tables.
+func TestReplicasConvergeAfterFailover(t *testing.T) {
+	sim := simnet.New(2)
+	fabric := rdma.NewFabric(sim, rdma.DefaultParams())
+	cl := acuerdo.NewCluster(sim, fabric, acuerdo.DefaultClusterConfig(3))
+	rm := NewReplicated(cl, 3)
+	cl.OnDeliver = func(replica int, hdr acuerdo.MsgHdr, payload []byte) {
+		if err := rm.ApplyAt(replica, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Start()
+	sim.RunFor(20 * time.Millisecond)
+	for i := 0; i < 20; i++ {
+		rm.Set(string(rune('a'+i%5)), []byte{byte(i)}, nil)
+	}
+	sim.RunFor(10 * time.Millisecond)
+	old := cl.LeaderIdx()
+	cl.Replicas[old].Crash()
+	sim.RunFor(40 * time.Millisecond)
+	for i := 0; i < 20; i++ {
+		rm.Set(string(rune('a'+i%5)), []byte{byte(100 + i)}, nil)
+	}
+	sim.RunFor(40 * time.Millisecond)
+	// Surviving replicas agree key-by-key.
+	var ref int = -1
+	for i := 0; i < 3; i++ {
+		if cl.Replicas[i].Node.Crashed() {
+			continue
+		}
+		if ref == -1 {
+			ref = i
+			continue
+		}
+		for k := 0; k < 5; k++ {
+			key := string(rune('a' + k))
+			va, oka := rm.Get(ref, key)
+			vb, okb := rm.Get(i, key)
+			if oka != okb || !bytes.Equal(va, vb) {
+				t.Fatalf("replicas %d/%d diverge on %q: %v/%v", ref, i, key, va, vb)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package metrics provides latency histograms and throughput accounting for
+// the benchmark harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram collects duration samples and reports order statistics.
+// The zero value is ready to use.
+type Histogram struct {
+	samples []time.Duration
+	sorted  bool
+	sum     time.Duration
+}
+
+// Add records one sample.
+func (h *Histogram) Add(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+	h.sum += d
+}
+
+// N returns the number of samples.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(len(h.samples))
+}
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank interpolation.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	rank := p / 100 * float64(len(h.samples)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return h.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return h.samples[lo] + time.Duration(frac*float64(h.samples[hi]-h.samples[lo]))
+}
+
+// Min returns the smallest sample.
+func (h *Histogram) Min() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[0]
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[len(h.samples)-1]
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.sum = 0
+	h.sorted = true
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.N(), h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}
+
+// Throughput converts a message count over a simulated interval into
+// messages/second.
+func Throughput(msgs int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(msgs) / elapsed.Seconds()
+}
+
+// MBPerSec converts a payload byte count over an interval into MB/s
+// (decimal megabytes, matching the paper's axes).
+func MBPerSec(bytes int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / elapsed.Seconds()
+}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for _, d := range []time.Duration{30, 10, 20} {
+		h.Add(d)
+	}
+	if h.N() != 3 || h.Mean() != 20 || h.Min() != 10 || h.Max() != 30 {
+		t.Fatalf("stats: n=%d mean=%v min=%v max=%v", h.N(), h.Mean(), h.Min(), h.Max())
+	}
+	if h.Percentile(50) != 20 {
+		t.Fatalf("p50 = %v", h.Percentile(50))
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var h Histogram
+		for _, v := range vals {
+			h.Add(time.Duration(v))
+		}
+		prev := time.Duration(-1)
+		for _, p := range []float64{1, 25, 50, 75, 90, 99, 100} {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPercentileAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	var raw []time.Duration
+	for i := 0; i < 1000; i++ {
+		d := time.Duration(rng.Intn(100000))
+		h.Add(d)
+		raw = append(raw, d)
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+	if h.Min() != raw[0] || h.Max() != raw[999] {
+		t.Fatal("min/max mismatch")
+	}
+	if got, want := h.Percentile(100), raw[999]; got != want {
+		t.Fatalf("p100 = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramAddAfterSort(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	_ = h.Percentile(50) // forces sort
+	h.Add(5)
+	if h.Min() != 5 {
+		t.Fatalf("min = %v after post-sort add", h.Min())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	h.Reset()
+	if h.N() != 0 || h.Mean() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestThroughputHelpers(t *testing.T) {
+	if got := Throughput(1000, time.Second); got != 1000 {
+		t.Fatalf("Throughput = %f", got)
+	}
+	if got := MBPerSec(2e6, time.Second); got != 2 {
+		t.Fatalf("MBPerSec = %f", got)
+	}
+	if Throughput(5, 0) != 0 || MBPerSec(5, 0) != 0 {
+		t.Fatal("zero-duration should yield 0")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Add(time.Microsecond)
+	if s := h.String(); s == "" {
+		t.Fatal("empty string")
+	}
+}

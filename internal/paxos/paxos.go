@@ -1,0 +1,459 @@
+// Package paxos implements the libpaxos baseline: classic multi-Paxos over
+// kernel TCP, with a distinguished proposer, one consensus instance per
+// message, and acceptors broadcasting ACCEPTED notifications to all
+// learners (n^2 messages per value — the per-message consensus overhead the
+// paper identifies as a throughput bottleneck). A bounded instance window
+// pipelines proposals, as libpaxos' pre-execution window does.
+package paxos
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+
+	"acuerdo/internal/abcast"
+	"acuerdo/internal/simnet"
+	"acuerdo/internal/tcpnet"
+)
+
+// Config tunes the libpaxos baseline.
+type Config struct {
+	N int
+	// Window bounds outstanding instances at the proposer.
+	Window int
+	// ProposerOpCost / AcceptorOpCost / LearnerOpCost are per-message CPU.
+	ProposerOpCost time.Duration
+	AcceptorOpCost time.Duration
+	LearnerOpCost  time.Duration
+	// LeaderTimeout triggers proposer failover.
+	LeaderTimeout time.Duration
+}
+
+// DefaultConfig returns calibrated libpaxos constants.
+func DefaultConfig(n int) Config {
+	return Config{
+		N:              n,
+		Window:         128,
+		ProposerOpCost: 4 * time.Microsecond,
+		AcceptorOpCost: 2 * time.Microsecond,
+		LearnerOpCost:  1 * time.Microsecond,
+		LeaderTimeout:  10 * time.Millisecond,
+	}
+}
+
+const (
+	mAccept   = byte(iota) // proposer -> acceptors (phase 2a)
+	mAccepted              // acceptor -> learners (phase 2b)
+	mPrepare               // new proposer -> acceptors (phase 1a)
+	mPromise               // acceptor -> proposer (phase 1b)
+	mPing
+)
+
+type acceptedVal struct {
+	ballot  uint64
+	payload []byte
+}
+
+// Server hosts a proposer, an acceptor, and a learner (libpaxos roles
+// colocated, as in the paper's deployment).
+type Server struct {
+	c    *Cluster
+	id   int
+	node *tcpnet.Node
+	out  []*tcpnet.Conn
+
+	// Acceptor state.
+	promised uint64
+	accepted map[uint64]acceptedVal // instance -> highest accepted
+
+	// Learner state.
+	learned   map[uint64]map[int]uint64 // instance -> acceptor -> ballot
+	chosen    map[uint64][]byte
+	delivered uint64 // instances [0,delivered) delivered
+
+	// Proposer state.
+	leading    bool
+	ballot     uint64
+	nextInst   uint64
+	inFlight   map[uint64][]byte
+	queue      [][]byte
+	promises   map[int][]byte // acceptor -> raw promise payload
+	preparing  bool
+	lastPing   simnet.Time
+	highestIns uint64
+}
+
+// Cluster is a libpaxos deployment plus a client host.
+type Cluster struct {
+	Sim     *simnet.Sim
+	Net     *tcpnet.Net
+	Servers []*Server
+	Client  *tcpnet.Node
+	cfg     Config
+
+	toServer []*tcpnet.Conn
+	toClient []*tcpnet.Conn
+	pending  map[uint64]func()
+
+	// OnDeliver observes deliveries at every learner.
+	OnDeliver func(replica int, instance uint64, payload []byte)
+}
+
+// NewCluster builds the deployment; server 0 is the initial proposer.
+func NewCluster(sim *simnet.Sim, net *tcpnet.Net, cfg Config) *Cluster {
+	c := &Cluster{Sim: sim, Net: net, cfg: cfg, pending: make(map[uint64]func())}
+	nodes := make([]*tcpnet.Node, cfg.N)
+	for i := range nodes {
+		nodes[i] = net.AddNode("paxos")
+	}
+	c.Client = net.AddNode("paxos-client")
+	c.Servers = make([]*Server, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		c.Servers[i] = &Server{
+			c: c, id: i, node: nodes[i],
+			accepted: make(map[uint64]acceptedVal),
+			learned:  make(map[uint64]map[int]uint64),
+			chosen:   make(map[uint64][]byte),
+			inFlight: make(map[uint64][]byte),
+			promises: make(map[int][]byte),
+		}
+	}
+	for i, s := range c.Servers {
+		s.out = make([]*tcpnet.Conn, cfg.N)
+		for j := range c.Servers {
+			if i == j {
+				continue
+			}
+			peer := c.Servers[j]
+			s.out[j] = nodes[i].Connect(nodes[j], peer.handle)
+		}
+	}
+	c.toServer = make([]*tcpnet.Conn, cfg.N)
+	c.toClient = make([]*tcpnet.Conn, cfg.N)
+	for i, s := range c.Servers {
+		s := s
+		c.toServer[i] = c.Client.Connect(nodes[i], func(m []byte) { s.submit(m) })
+		c.toClient[i] = nodes[i].Connect(c.Client, c.clientAck)
+	}
+	return c
+}
+
+// Start boots the deployment with server 0 as proposer (ballot = id+1).
+func (c *Cluster) Start() {
+	p := c.Servers[0]
+	p.leading = true
+	p.ballot = 1
+	p.schedulePing()
+	for _, s := range c.Servers[1:] {
+		s.lastPing = c.Sim.Now()
+		s.armFailover()
+	}
+}
+
+func (s *Server) send(j int, m []byte) {
+	if s.out[j] != nil {
+		s.out[j].Send(m)
+	}
+}
+
+func (s *Server) broadcast(m []byte) {
+	for j := range s.out {
+		if j != s.id {
+			s.send(j, m)
+		}
+	}
+}
+
+// enc: [kind][ballot u64][instance u64][from u32][payload]
+func enc(kind byte, ballot, inst uint64, from int, payload []byte) []byte {
+	m := make([]byte, 21+len(payload))
+	m[0] = kind
+	binary.LittleEndian.PutUint64(m[1:], ballot)
+	binary.LittleEndian.PutUint64(m[9:], inst)
+	binary.LittleEndian.PutUint32(m[17:], uint32(from))
+	copy(m[21:], payload)
+	return m
+}
+
+// submit handles a client value at this server's proposer.
+func (s *Server) submit(payload []byte) {
+	if !s.leading || s.preparing {
+		return // client retries
+	}
+	s.queue = append(s.queue, append([]byte(nil), payload...))
+	s.pump()
+}
+
+// pump starts instances while the window has room.
+func (s *Server) pump() {
+	for len(s.queue) > 0 && len(s.inFlight) < s.c.cfg.Window {
+		payload := s.queue[0]
+		s.queue = s.queue[1:]
+		inst := s.nextInst
+		s.nextInst++
+		s.inFlight[inst] = payload
+		s.node.Proc.Pause(s.c.cfg.ProposerOpCost)
+		m := enc(mAccept, s.ballot, inst, s.id, payload)
+		s.broadcast(m)
+		// Local acceptor accepts directly.
+		s.onAccept(s.ballot, inst, payload)
+	}
+}
+
+func (s *Server) handle(m []byte) {
+	kind := m[0]
+	ballot := binary.LittleEndian.Uint64(m[1:])
+	inst := binary.LittleEndian.Uint64(m[9:])
+	from := int(binary.LittleEndian.Uint32(m[17:]))
+	payload := m[21:]
+	switch kind {
+	case mAccept:
+		s.onAccept(ballot, inst, payload)
+	case mAccepted:
+		s.onAccepted(ballot, inst, from, payload)
+	case mPrepare:
+		s.onPrepare(ballot, inst, from)
+	case mPromise:
+		s.onPromise(ballot, from, payload)
+	case mPing:
+		s.lastPing = s.c.Sim.Now()
+	}
+}
+
+// onAccept is phase 2a at the acceptor: accept if the ballot is current and
+// notify all learners.
+func (s *Server) onAccept(ballot, inst uint64, payload []byte) {
+	if ballot < s.promised {
+		return
+	}
+	s.promised = ballot
+	s.node.Proc.Pause(s.c.cfg.AcceptorOpCost)
+	s.accepted[inst] = acceptedVal{ballot: ballot, payload: append([]byte(nil), payload...)}
+	out := enc(mAccepted, ballot, inst, s.id, payload)
+	s.broadcast(out)
+	s.onAccepted(ballot, inst, s.id, payload) // local learner
+}
+
+// onAccepted is phase 2b at the learner: a quorum of acceptors on the same
+// ballot chooses the value; deliver in instance order.
+func (s *Server) onAccepted(ballot, inst uint64, from int, payload []byte) {
+	s.node.Proc.Pause(s.c.cfg.LearnerOpCost)
+	lm := s.learned[inst]
+	if lm == nil {
+		lm = make(map[int]uint64)
+		s.learned[inst] = lm
+	}
+	lm[from] = ballot
+	n := 0
+	for _, b := range lm {
+		if b == ballot {
+			n++
+		}
+	}
+	if n >= s.c.quorum() {
+		if _, ok := s.chosen[inst]; !ok {
+			s.chosen[inst] = append([]byte(nil), payload...)
+		}
+		s.deliver()
+	}
+}
+
+func (s *Server) deliver() {
+	for {
+		payload, ok := s.chosen[s.delivered]
+		if !ok {
+			return
+		}
+		inst := s.delivered
+		s.delivered++
+		delete(s.learned, inst)
+		if s.c.OnDeliver != nil {
+			s.c.OnDeliver(s.id, inst, payload)
+		}
+		if s.leading {
+			delete(s.inFlight, inst)
+			if len(payload) >= 8 {
+				s.c.toClient[s.id].Send(payload[:8])
+			}
+			s.pump()
+		}
+	}
+}
+
+// --- proposer failover (phase 1) ---
+
+func (s *Server) schedulePing() {
+	if !s.leading || s.node.Crashed() {
+		return
+	}
+	s.broadcast(enc(mPing, s.ballot, 0, s.id, nil))
+	s.c.Sim.After(s.c.cfg.LeaderTimeout/4, s.schedulePing)
+}
+
+func (s *Server) armFailover() {
+	s.c.Sim.After(s.c.cfg.LeaderTimeout, func() {
+		if s.node.Crashed() || s.leading {
+			return
+		}
+		if s.c.Sim.Now().Sub(s.lastPing) >= s.c.cfg.LeaderTimeout {
+			// Only the lowest-ranked live non-leader takes over, to
+			// avoid duels.
+			if s.shouldTakeOver() {
+				s.takeOver()
+				return
+			}
+		}
+		s.armFailover()
+	})
+}
+
+func (s *Server) shouldTakeOver() bool {
+	for j := 0; j < s.id; j++ {
+		if !s.c.Servers[j].node.Crashed() {
+			return false
+		}
+	}
+	return true
+}
+
+// takeOver runs phase 1 for all instances at or above the local delivery
+// frontier, with a ballot strictly above anything seen.
+func (s *Server) takeOver() {
+	s.leading = true
+	s.preparing = true
+	s.ballot = s.promised + uint64(s.c.cfg.N) + uint64(s.id) + 1
+	s.promises = make(map[int][]byte)
+	s.nextInst = s.delivered
+	s.broadcast(enc(mPrepare, s.ballot, s.delivered, s.id, nil))
+	// Local promise.
+	s.onPrepare(s.ballot, s.delivered, s.id)
+	s.schedulePing()
+}
+
+// onPrepare is phase 1a at the acceptor: promise and report accepted values
+// for instances >= fromInst as [inst u64][ballot u64][len u32][payload]...
+func (s *Server) onPrepare(ballot, fromInst uint64, from int) {
+	if ballot < s.promised {
+		return
+	}
+	s.promised = ballot
+	var insts []uint64
+	for inst := range s.accepted {
+		if inst >= fromInst {
+			insts = append(insts, inst)
+		}
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	var buf []byte
+	for _, inst := range insts {
+		av := s.accepted[inst]
+		rec := make([]byte, 20+len(av.payload))
+		binary.LittleEndian.PutUint64(rec, inst)
+		binary.LittleEndian.PutUint64(rec[8:], av.ballot)
+		binary.LittleEndian.PutUint32(rec[16:], uint32(len(av.payload)))
+		copy(rec[20:], av.payload)
+		buf = append(buf, rec...)
+	}
+	if from == s.id {
+		s.onPromise(ballot, s.id, buf)
+	} else {
+		s.send(from, enc(mPromise, ballot, fromInst, s.id, buf))
+	}
+}
+
+// onPromise is phase 1b at the new proposer: on a quorum of promises,
+// re-propose the highest-ballot value per instance and resume.
+func (s *Server) onPromise(ballot uint64, from int, payload []byte) {
+	if !s.preparing || ballot != s.ballot {
+		return
+	}
+	s.promises[from] = append([]byte(nil), payload...)
+	if len(s.promises) < s.c.quorum() {
+		return
+	}
+	s.preparing = false
+	// Merge reported values, keeping the highest ballot per instance.
+	best := make(map[uint64]acceptedVal)
+	for _, buf := range s.promises {
+		for off := 0; off+20 <= len(buf); {
+			inst := binary.LittleEndian.Uint64(buf[off:])
+			b := binary.LittleEndian.Uint64(buf[off+8:])
+			ln := int(binary.LittleEndian.Uint32(buf[off+16:]))
+			pl := buf[off+20 : off+20+ln]
+			if cur, ok := best[inst]; !ok || b > cur.ballot {
+				best[inst] = acceptedVal{ballot: b, payload: append([]byte(nil), pl...)}
+			}
+			off += 20 + ln
+		}
+	}
+	var insts []uint64
+	for inst := range best {
+		insts = append(insts, inst)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	for _, inst := range insts {
+		av := best[inst]
+		if inst >= s.nextInst {
+			s.nextInst = inst + 1
+		}
+		s.inFlight[inst] = av.payload
+		s.broadcast(enc(mAccept, s.ballot, inst, s.id, av.payload))
+		s.onAccept(s.ballot, inst, av.payload)
+	}
+	s.pump()
+}
+
+// --- cluster client API ---
+
+func (c *Cluster) quorum() int { return c.cfg.N/2 + 1 }
+
+// LeaderIdx returns the active proposer or -1.
+func (c *Cluster) LeaderIdx() int {
+	for i, s := range c.Servers {
+		if s.leading && !s.preparing && !s.node.Crashed() {
+			return i
+		}
+	}
+	return -1
+}
+
+// Name implements abcast.System.
+func (c *Cluster) Name() string { return "libpaxos" }
+
+// Ready implements abcast.System.
+func (c *Cluster) Ready() bool { return c.LeaderIdx() >= 0 }
+
+// Submit implements abcast.System.
+func (c *Cluster) Submit(payload []byte, done func()) {
+	id := abcast.MsgID(payload)
+	c.pending[id] = done
+	c.sendReq(id, payload)
+}
+
+func (c *Cluster) sendReq(id uint64, payload []byte) {
+	ldr := c.LeaderIdx()
+	if ldr < 0 {
+		c.Sim.After(time.Millisecond, func() { c.retryReq(id, payload) })
+		return
+	}
+	c.toServer[ldr].Send(payload)
+	c.Sim.After(30*time.Millisecond, func() { c.retryReq(id, payload) })
+}
+
+func (c *Cluster) retryReq(id uint64, payload []byte) {
+	if _, ok := c.pending[id]; ok {
+		c.sendReq(id, payload)
+	}
+}
+
+func (c *Cluster) clientAck(m []byte) {
+	id := abcast.MsgID(m)
+	if done, ok := c.pending[id]; ok {
+		delete(c.pending, id)
+		if done != nil {
+			done()
+		}
+	}
+}
+
+var _ abcast.System = (*Cluster)(nil)

@@ -1,0 +1,588 @@
+// Package raft implements the etcd baseline: the Raft consensus algorithm
+// (Ongaro & Ousterhout, ATC 2014) over the simulated kernel-TCP transport
+// with etcd-like costs — gRPC-ish per-op processing, write-ahead-log group
+// commit before acknowledging, pipelined AppendEntries batches, heartbeat
+// ticks, and randomized election timeouts (the scheme the paper notes can
+// split votes, unlike Acuerdo's monotone election).
+package raft
+
+import (
+	"encoding/binary"
+	"time"
+
+	"acuerdo/internal/abcast"
+	"acuerdo/internal/simnet"
+	"acuerdo/internal/tcpnet"
+)
+
+// Config tunes the etcd/Raft baseline.
+type Config struct {
+	N int
+	// HeartbeatInterval is the leader's empty-AppendEntries tick.
+	HeartbeatInterval time.Duration
+	// ElectTimeoutMin/Max bound the randomized follower election timeout.
+	ElectTimeoutMin time.Duration
+	ElectTimeoutMax time.Duration
+	// LeaderOpCost is leader CPU per client proposal (gRPC + raft node).
+	LeaderOpCost time.Duration
+	// FollowerOpCost is follower CPU per appended entry.
+	FollowerOpCost time.Duration
+	// FsyncCost is the WAL group-commit cost paid before acknowledging.
+	FsyncCost time.Duration
+	// MaxBatch bounds entries per AppendEntries message.
+	MaxBatch int
+}
+
+// DefaultConfig returns calibrated etcd 3.4-era constants.
+func DefaultConfig(n int) Config {
+	return Config{
+		N:                 n,
+		HeartbeatInterval: 2 * time.Millisecond,
+		ElectTimeoutMin:   10 * time.Millisecond,
+		ElectTimeoutMax:   20 * time.Millisecond,
+		LeaderOpCost:      100 * time.Microsecond,
+		FollowerOpCost:    5 * time.Microsecond,
+		FsyncCost:         200 * time.Microsecond,
+		MaxBatch:          64,
+	}
+}
+
+const (
+	mVoteReq = byte(iota)
+	mVoteResp
+	mAppendReq
+	mAppendResp
+)
+
+type entry struct {
+	term    uint64
+	payload []byte
+}
+
+type roleT int
+
+const (
+	follower roleT = iota
+	candidate
+	leader
+)
+
+// Server is one Raft replica.
+type Server struct {
+	c    *Cluster
+	id   int
+	node *tcpnet.Node
+	out  []*tcpnet.Conn
+
+	role     roleT
+	term     uint64
+	votedFor int
+	votes    int
+	log      []entry
+	commit   int // entries [0,commit) committed
+	applied  int
+
+	// Leader state.
+	nextIndex []int
+	inflight  []bool
+
+	// Group-commit state.
+	persisted   int // entries [0,persisted) are on stable storage
+	persistBusy bool
+	persistCBs  []func()
+
+	timerGen  int
+	lastHeard simnet.Time
+}
+
+// Cluster is a Raft group plus a client host; implements abcast.System.
+type Cluster struct {
+	Sim     *simnet.Sim
+	Net     *tcpnet.Net
+	Servers []*Server
+	Client  *tcpnet.Node
+	cfg     Config
+
+	toServer []*tcpnet.Conn
+	toClient []*tcpnet.Conn
+	pending  map[uint64]func()
+
+	// OnDeliver observes every applied entry at every replica.
+	OnDeliver func(replica int, index int, payload []byte)
+}
+
+// NewCluster builds the group.
+func NewCluster(sim *simnet.Sim, net *tcpnet.Net, cfg Config) *Cluster {
+	c := &Cluster{Sim: sim, Net: net, cfg: cfg, pending: make(map[uint64]func())}
+	nodes := make([]*tcpnet.Node, cfg.N)
+	for i := range nodes {
+		nodes[i] = net.AddNode("etcd")
+	}
+	c.Client = net.AddNode("etcd-client")
+	c.Servers = make([]*Server, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		c.Servers[i] = &Server{
+			c: c, id: i, node: nodes[i],
+			votedFor:  -1,
+			nextIndex: make([]int, cfg.N),
+			inflight:  make([]bool, cfg.N),
+		}
+	}
+	for i, s := range c.Servers {
+		s.out = make([]*tcpnet.Conn, cfg.N)
+		for j := range c.Servers {
+			if i == j {
+				continue
+			}
+			peer := c.Servers[j]
+			s.out[j] = nodes[i].Connect(nodes[j], peer.handle)
+		}
+	}
+	c.toServer = make([]*tcpnet.Conn, cfg.N)
+	c.toClient = make([]*tcpnet.Conn, cfg.N)
+	for i, s := range c.Servers {
+		s := s
+		c.toServer[i] = c.Client.Connect(nodes[i], func(m []byte) { s.propose(m) })
+		c.toClient[i] = nodes[i].Connect(c.Client, c.clientAck)
+	}
+	return c
+}
+
+// Start boots every server as a follower with a randomized election timer.
+func (c *Cluster) Start() {
+	for _, s := range c.Servers {
+		s.lastHeard = c.Sim.Now()
+		s.armElectionTimer()
+	}
+}
+
+func (s *Server) electTimeout() time.Duration {
+	span := s.c.cfg.ElectTimeoutMax - s.c.cfg.ElectTimeoutMin
+	return s.c.cfg.ElectTimeoutMin + time.Duration(s.c.Sim.Rand().Int63n(int64(span)))
+}
+
+func (s *Server) armElectionTimer() {
+	gen := s.timerGen
+	d := s.electTimeout()
+	s.c.Sim.After(d, func() {
+		if s.timerGen != gen || s.node.Crashed() || s.role == leader {
+			return
+		}
+		if s.c.Sim.Now().Sub(s.lastHeard) >= d {
+			s.startElection()
+		} else {
+			s.armElectionTimer()
+		}
+	})
+}
+
+func (s *Server) resetTimer() {
+	s.timerGen++
+	s.armElectionTimer()
+}
+
+func (s *Server) lastLogTerm() uint64 {
+	if len(s.log) == 0 {
+		return 0
+	}
+	return s.log[len(s.log)-1].term
+}
+
+func (s *Server) send(j int, m []byte) {
+	if s.out[j] != nil {
+		s.out[j].Send(m)
+	}
+}
+
+// --- election ---
+
+func (s *Server) startElection() {
+	s.role = candidate
+	s.term++
+	s.votedFor = s.id
+	s.votes = 1
+	s.lastHeard = s.c.Sim.Now()
+	s.resetTimer()
+	m := make([]byte, 29)
+	m[0] = mVoteReq
+	binary.LittleEndian.PutUint64(m[1:], s.term)
+	binary.LittleEndian.PutUint32(m[9:], uint32(s.id))
+	binary.LittleEndian.PutUint32(m[13:], uint32(len(s.log)))
+	binary.LittleEndian.PutUint64(m[17:], s.lastLogTerm())
+	for j := range s.out {
+		if j != s.id {
+			s.send(j, m)
+		}
+	}
+}
+
+func (s *Server) maybeStepDown(term uint64) {
+	if term > s.term {
+		s.term = term
+		s.role = follower
+		s.votedFor = -1
+		s.resetTimer()
+	}
+}
+
+func (s *Server) handle(m []byte) {
+	switch m[0] {
+	case mVoteReq:
+		term := binary.LittleEndian.Uint64(m[1:])
+		from := int(binary.LittleEndian.Uint32(m[9:]))
+		lastIdx := int(binary.LittleEndian.Uint32(m[13:]))
+		lastTerm := binary.LittleEndian.Uint64(m[17:])
+		s.maybeStepDown(term)
+		grant := false
+		if term == s.term && (s.votedFor == -1 || s.votedFor == from) {
+			upToDate := lastTerm > s.lastLogTerm() ||
+				(lastTerm == s.lastLogTerm() && lastIdx >= len(s.log))
+			if upToDate {
+				grant = true
+				s.votedFor = from
+				s.lastHeard = s.c.Sim.Now()
+			}
+		}
+		resp := make([]byte, 14)
+		resp[0] = mVoteResp
+		binary.LittleEndian.PutUint64(resp[1:], s.term)
+		binary.LittleEndian.PutUint32(resp[9:], uint32(s.id))
+		if grant {
+			resp[13] = 1
+		}
+		s.send(from, resp)
+	case mVoteResp:
+		term := binary.LittleEndian.Uint64(m[1:])
+		s.maybeStepDown(term)
+		if s.role != candidate || term != s.term || m[13] != 1 {
+			return
+		}
+		s.votes++
+		if s.votes >= s.c.quorum() {
+			s.becomeLeader()
+		}
+	case mAppendReq:
+		s.onAppend(m)
+	case mAppendResp:
+		s.onAppendResp(m)
+	}
+}
+
+func (s *Server) becomeLeader() {
+	s.role = leader
+	for j := range s.nextIndex {
+		s.nextIndex[j] = len(s.log)
+		s.inflight[j] = false
+	}
+	s.heartbeat()
+}
+
+func (s *Server) heartbeat() {
+	if s.role != leader || s.node.Crashed() {
+		return
+	}
+	for j := range s.out {
+		if j != s.id && !s.inflight[j] {
+			s.sendAppend(j)
+		}
+	}
+	s.c.Sim.After(s.c.cfg.HeartbeatInterval, s.heartbeat)
+}
+
+// --- log replication ---
+
+// appendWire is [kind][term u64][leader u32][prevIdx u32][prevTerm u64]
+// [commit u32][count u32]{[term u64][len u32][payload]}...
+func (s *Server) sendAppend(j int) {
+	prev := s.nextIndex[j]
+	count := len(s.log) - prev
+	if count > s.c.cfg.MaxBatch {
+		count = s.c.cfg.MaxBatch
+	}
+	// Only replicate persisted entries (etcd sends after WAL append).
+	if prev+count > s.persisted {
+		count = s.persisted - prev
+		if count < 0 {
+			count = 0
+		}
+	}
+	var prevTerm uint64
+	if prev > 0 {
+		prevTerm = s.log[prev-1].term
+	}
+	m := encodeAppend(s.term, s.id, prev, prevTerm, s.commit, s.log[prev:prev+count])
+	s.inflight[j] = true
+	s.send(j, m)
+}
+
+func encodeAppend(term uint64, ldr, prev int, prevTerm uint64, commit int, entries []entry) []byte {
+	n := 33
+	for _, e := range entries {
+		n += 12 + len(e.payload)
+	}
+	m := make([]byte, n)
+	m[0] = mAppendReq
+	binary.LittleEndian.PutUint64(m[1:], term)
+	binary.LittleEndian.PutUint32(m[9:], uint32(ldr))
+	binary.LittleEndian.PutUint32(m[13:], uint32(prev))
+	binary.LittleEndian.PutUint64(m[17:], prevTerm)
+	binary.LittleEndian.PutUint32(m[25:], uint32(commit))
+	binary.LittleEndian.PutUint32(m[29:], uint32(len(entries)))
+	off := 33
+	for _, e := range entries {
+		binary.LittleEndian.PutUint64(m[off:], e.term)
+		binary.LittleEndian.PutUint32(m[off+8:], uint32(len(e.payload)))
+		copy(m[off+12:], e.payload)
+		off += 12 + len(e.payload)
+	}
+	return m
+}
+
+func (s *Server) onAppend(m []byte) {
+	term := binary.LittleEndian.Uint64(m[1:])
+	ldr := int(binary.LittleEndian.Uint32(m[9:]))
+	prev := int(binary.LittleEndian.Uint32(m[13:]))
+	prevTerm := binary.LittleEndian.Uint64(m[17:])
+	commit := int(binary.LittleEndian.Uint32(m[25:]))
+	count := int(binary.LittleEndian.Uint32(m[29:]))
+
+	s.maybeStepDown(term)
+	reply := func(success bool, match int) {
+		resp := make([]byte, 18)
+		resp[0] = mAppendResp
+		binary.LittleEndian.PutUint64(resp[1:], s.term)
+		binary.LittleEndian.PutUint32(resp[9:], uint32(s.id))
+		if success {
+			resp[13] = 1
+		}
+		binary.LittleEndian.PutUint32(resp[14:], uint32(match))
+		s.send(ldr, resp)
+	}
+	if term < s.term {
+		reply(false, 0)
+		return
+	}
+	s.role = follower
+	s.lastHeard = s.c.Sim.Now()
+	// Consistency check.
+	if prev > len(s.log) || (prev > 0 && s.log[prev-1].term != prevTerm) {
+		reply(false, 0)
+		return
+	}
+	entries := make([]entry, 0, count)
+	off := 33
+	for i := 0; i < count; i++ {
+		et := binary.LittleEndian.Uint64(m[off:])
+		ln := int(binary.LittleEndian.Uint32(m[off+8:]))
+		pl := append([]byte(nil), m[off+12:off+12+ln]...)
+		entries = append(entries, entry{term: et, payload: pl})
+		off += 12 + ln
+	}
+	if count > 0 {
+		s.node.Proc.Pause(time.Duration(count) * s.c.cfg.FollowerOpCost)
+	}
+	// Truncate conflicts, append new entries.
+	for i, e := range entries {
+		idx := prev + i
+		if idx < len(s.log) {
+			if s.log[idx].term != e.term {
+				s.log = s.log[:idx]
+				if s.persisted > idx {
+					s.persisted = idx
+				}
+				s.log = append(s.log, e)
+			}
+		} else {
+			s.log = append(s.log, e)
+		}
+	}
+	match := prev + len(entries)
+	advance := func() {
+		if commit > s.commit {
+			c := commit
+			if c > len(s.log) {
+				c = len(s.log)
+			}
+			s.commit = c
+			s.apply()
+		}
+	}
+	if match > s.persisted {
+		// WAL group commit before acknowledging.
+		s.persist(match, func() { advance(); reply(true, match) })
+	} else {
+		advance()
+		reply(true, match)
+	}
+}
+
+// persist models etcd's WAL: fsyncs batch while one is in flight.
+func (s *Server) persist(upTo int, done func()) {
+	if upTo > s.persisted {
+		s.persistCBs = append(s.persistCBs, func() {
+			if s.persisted < upTo {
+				s.persisted = upTo
+			}
+			done()
+		})
+	} else {
+		done()
+		return
+	}
+	if !s.persistBusy {
+		s.persistBusy = true
+		s.runPersist()
+	}
+}
+
+func (s *Server) runPersist() {
+	cbs := s.persistCBs
+	s.persistCBs = nil
+	s.node.Proc.Run(s.c.cfg.FsyncCost, func() {
+		for _, cb := range cbs {
+			cb()
+		}
+		if len(s.persistCBs) > 0 {
+			s.runPersist()
+		} else {
+			s.persistBusy = false
+		}
+	})
+}
+
+func (s *Server) onAppendResp(m []byte) {
+	term := binary.LittleEndian.Uint64(m[1:])
+	from := int(binary.LittleEndian.Uint32(m[9:]))
+	success := m[13] == 1
+	match := int(binary.LittleEndian.Uint32(m[14:]))
+	s.maybeStepDown(term)
+	if s.role != leader {
+		return
+	}
+	s.inflight[from] = false
+	if success {
+		if match > s.nextIndex[from] {
+			s.nextIndex[from] = match
+		}
+		s.advanceCommit()
+	} else if s.nextIndex[from] > 0 {
+		s.nextIndex[from]--
+	}
+	if s.nextIndex[from] < s.persisted {
+		s.sendAppend(from)
+	}
+}
+
+// advanceCommit commits the highest index replicated on a quorum (counting
+// the leader's own persisted prefix), current-term entries only.
+func (s *Server) advanceCommit() {
+	for idx := len(s.log); idx > s.commit; idx-- {
+		if s.log[idx-1].term != s.term {
+			break
+		}
+		n := 0
+		if s.persisted >= idx {
+			n++
+		}
+		for j := range s.nextIndex {
+			if j != s.id && s.nextIndex[j] >= idx {
+				n++
+			}
+		}
+		if n >= s.c.quorum() {
+			s.commit = idx
+			s.apply()
+			break
+		}
+	}
+}
+
+func (s *Server) apply() {
+	for s.applied < s.commit {
+		e := s.log[s.applied]
+		s.applied++
+		if s.c.OnDeliver != nil {
+			s.c.OnDeliver(s.id, s.applied, e.payload)
+		}
+		if s.role == leader && len(e.payload) >= 8 {
+			s.c.toClient[s.id].Send(e.payload[:8])
+		}
+	}
+}
+
+// propose handles a client request at this server.
+func (s *Server) propose(payload []byte) {
+	if s.role != leader {
+		return // client retries
+	}
+	s.node.Proc.Run(s.c.cfg.LeaderOpCost, func() {
+		if s.role != leader {
+			return
+		}
+		s.log = append(s.log, entry{term: s.term, payload: append([]byte(nil), payload...)})
+		s.persist(len(s.log), func() {
+			s.advanceCommit()
+			for j := range s.out {
+				if j != s.id && !s.inflight[j] && s.nextIndex[j] < s.persisted {
+					s.sendAppend(j)
+				}
+			}
+		})
+	})
+}
+
+// --- cluster client API ---
+
+func (c *Cluster) quorum() int { return c.cfg.N/2 + 1 }
+
+// LeaderIdx returns the current leader or -1.
+func (c *Cluster) LeaderIdx() int {
+	best, bestTerm := -1, uint64(0)
+	for i, s := range c.Servers {
+		if s.role == leader && !s.node.Crashed() && s.term >= bestTerm {
+			best, bestTerm = i, s.term
+		}
+	}
+	return best
+}
+
+// Name implements abcast.System.
+func (c *Cluster) Name() string { return "etcd" }
+
+// Ready implements abcast.System.
+func (c *Cluster) Ready() bool { return c.LeaderIdx() >= 0 }
+
+// Submit implements abcast.System.
+func (c *Cluster) Submit(payload []byte, done func()) {
+	id := abcast.MsgID(payload)
+	c.pending[id] = done
+	c.sendReq(id, payload)
+}
+
+func (c *Cluster) sendReq(id uint64, payload []byte) {
+	ldr := c.LeaderIdx()
+	if ldr < 0 {
+		c.Sim.After(2*time.Millisecond, func() { c.retryReq(id, payload) })
+		return
+	}
+	c.toServer[ldr].Send(payload)
+	c.Sim.After(50*time.Millisecond, func() { c.retryReq(id, payload) })
+}
+
+func (c *Cluster) retryReq(id uint64, payload []byte) {
+	if _, ok := c.pending[id]; ok {
+		c.sendReq(id, payload)
+	}
+}
+
+func (c *Cluster) clientAck(m []byte) {
+	id := abcast.MsgID(m)
+	if done, ok := c.pending[id]; ok {
+		delete(c.pending, id)
+		if done != nil {
+			done()
+		}
+	}
+}
+
+var _ abcast.System = (*Cluster)(nil)

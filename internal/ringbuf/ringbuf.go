@@ -1,0 +1,363 @@
+// Package ringbuf implements the RDMA ring buffer communication primitive
+// used for Acuerdo's broadcast mode (paper §3.2) and by the Derecho and APUS
+// baselines.
+//
+// A ring has a single sender and, per receiver, a registered remote buffer
+// that the sender fills with one-sided RDMA writes. Receivers poll their
+// current incoming tail until the next record's wire sequence number appears,
+// then drain every available record at once — the paper's receiver-side
+// batching model. Because RDMA reliable connections deliver writes in FIFO
+// order, observing record k implies records < k have landed.
+//
+// Two wire formats are supported:
+//
+//   - single-write (Acuerdo): the record header and payload travel in one
+//     RDMA write, so a small message costs one minimum-size wire frame;
+//   - two-write (Derecho): the payload travels first with a zero sequence
+//     word, then a second small write publishes the sequence number —
+//     two verbs and two wire frames per message, which is why Derecho is
+//     half as bandwidth-efficient for tiny messages (paper §4.1).
+//
+// Slot reuse is governed by the protocol through Release: Acuerdo releases a
+// record once the receiver has accepted it, Derecho only once it is committed
+// at all active nodes. When a receiver's ring is full the sender either
+// queues to an unbounded per-receiver backlog (Acuerdo: "effectively
+// infinite pending messages") or reports ErrRingFull so the protocol can
+// stall (Derecho).
+package ringbuf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"acuerdo/internal/rdma"
+)
+
+const (
+	headerSize = 12 // seq uint64 + len uint32
+	wrapMarker = ^uint32(0)
+)
+
+var (
+	// ErrRingFull is returned (backlog disabled) when the receiver has not
+	// released enough space for the record.
+	ErrRingFull = errors.New("ringbuf: ring full")
+	// ErrTooLarge is returned for records bigger than half the ring.
+	ErrTooLarge = errors.New("ringbuf: record exceeds ring capacity")
+)
+
+// Config sizes a ring.
+type Config struct {
+	// Bytes is the per-receiver ring size in bytes.
+	Bytes int
+	// TwoWrite selects the Derecho-style data+counter wire format.
+	TwoWrite bool
+	// Backlog enables unbounded sender-side queueing per receiver instead
+	// of ErrRingFull.
+	Backlog bool
+}
+
+// DefaultConfig returns a 1 MiB single-write ring with backlog enabled.
+func DefaultConfig() Config {
+	return Config{Bytes: 1 << 20, Backlog: true}
+}
+
+// Receiver is the receiving endpoint of a ring on one node. Poll from the
+// owning node's event loop.
+type Receiver struct {
+	mr       *rdma.MR
+	off      int
+	wireSeq  uint64 // next expected wire sequence
+	consumed uint64 // payload records consumed (for Release bookkeeping)
+
+	creditQP *rdma.QP // back-channel to the sender's credit word
+	creditMR *rdma.MR
+	returned uint64
+}
+
+// ReturnCredits writes the consumed count back to the sender with an
+// 8-byte RDMA write, letting it recycle ring space (the FaRM-style credit
+// scheme). Protocols that release through higher-level state (Acuerdo's
+// acceptance SST, Derecho's receipt counters) never need to call this.
+func (r *Receiver) ReturnCredits() {
+	if r.creditQP == nil || r.consumed == r.returned {
+		return
+	}
+	r.returned = r.consumed
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], r.consumed)
+	// A wedged credit channel is tolerable: credits are cumulative, so a
+	// later write carries the same information.
+	_, _ = r.creditQP.Write(r.creditMR, 0, b[:])
+}
+
+// Consumed returns the number of payload messages consumed so far; protocols
+// report it back to the sender (directly or via an SST) to release ring
+// space.
+func (r *Receiver) Consumed() uint64 { return r.consumed }
+
+// Poll drains available records, returning at most limit payloads
+// (limit <= 0 means unlimited). Each call returns a receiver-side batch.
+func (r *Receiver) Poll(limit int) [][]byte {
+	var out [][]byte
+	buf := r.mr.Buf
+	for limit <= 0 || len(out) < limit {
+		if len(buf)-r.off < headerSize {
+			r.off = 0
+			continue
+		}
+		seq := binary.LittleEndian.Uint64(buf[r.off:])
+		if seq != r.wireSeq+1 {
+			break // nothing new at the tail
+		}
+		ln := binary.LittleEndian.Uint32(buf[r.off+8:])
+		if ln == wrapMarker {
+			r.wireSeq++
+			r.off = 0
+			continue
+		}
+		if int(ln) > len(buf) {
+			panic(fmt.Sprintf("ringbuf: corrupt record length %d", ln))
+		}
+		payload := make([]byte, ln)
+		copy(payload, buf[r.off+headerSize:r.off+headerSize+int(ln)])
+		out = append(out, payload)
+		r.wireSeq++
+		r.consumed++
+		r.off += headerSize + int(ln)
+	}
+	return out
+}
+
+type inflightRec struct {
+	msgIdx uint64
+	bytes  int
+}
+
+type peerState struct {
+	id       int
+	qp       *rdma.QP
+	ring     *rdma.MR
+	creditMR *rdma.MR // local word the receiver writes its consumed count to
+
+	woff          int
+	wireSeq       uint64
+	msgIdx        uint64 // logical send index (includes backlogged)
+	emitIdx       uint64 // wire emission index; == msgIdx when backlog empty
+	inflight      []inflightRec
+	inflightBytes int
+	backlog       [][]byte
+}
+
+// Sender is the sending endpoint of a ring: one per node, broadcasting to
+// any number of receivers.
+type Sender struct {
+	cfg  Config
+	node *rdma.Node
+	peer map[int]*peerState
+	ids  []int // stable peer order for Broadcast
+}
+
+// NewSender creates a sender owned by node.
+func NewSender(node *rdma.Node, cfg Config) *Sender {
+	if cfg.Bytes < 4*headerSize {
+		panic("ringbuf: ring too small")
+	}
+	return &Sender{cfg: cfg, node: node, peer: make(map[int]*peerState)}
+}
+
+// AddPeer registers ring memory on recv and connects to it, returning the
+// Receiver handle that recv's protocol instance polls. Peers are keyed by
+// their fabric node ID.
+func (s *Sender) AddPeer(recv *rdma.Node) *Receiver {
+	mr := recv.RegisterMemory(s.cfg.Bytes)
+	qp := s.node.Connect(recv, rdma.NewCQ())
+	qp.SignalEvery = 1000 // the paper signals every thousand messages
+	creditMR := s.node.RegisterMemory(8)
+	creditQP := recv.Connect(s.node, rdma.NewCQ())
+	creditQP.SignalEvery = 1024
+	ps := &peerState{id: recv.ID, qp: qp, ring: mr, creditMR: creditMR}
+	s.peer[recv.ID] = ps
+	s.ids = append(s.ids, recv.ID)
+	return &Receiver{mr: mr, creditQP: creditQP, creditMR: creditMR}
+}
+
+// pollCredits applies any credit returned by the receiver.
+func (s *Sender) pollCredits(ps *peerState) {
+	credit := binary.LittleEndian.Uint64(ps.creditMR.Buf)
+	if credit > 0 {
+		s.release(ps, credit)
+	}
+}
+
+// Peers returns the registered peer node IDs in registration order.
+func (s *Sender) Peers() []int { return s.ids }
+
+// CanSend reports whether a record of the given payload size fits in peer
+// to's ring right now (ignoring backlog).
+func (s *Sender) CanSend(to, payloadLen int) bool {
+	ps := s.peer[to]
+	if ps == nil {
+		return false
+	}
+	s.pollCredits(ps)
+	if len(ps.backlog) > 0 {
+		return false
+	}
+	rec := headerSize + payloadLen
+	_, waste := s.placement(ps, rec)
+	return ps.inflightBytes+waste+rec <= s.cfg.Bytes-headerSize
+}
+
+// placement computes where the next record of size rec lands and how many
+// bytes a wrap would waste.
+func (s *Sender) placement(ps *peerState, rec int) (off, waste int) {
+	off = ps.woff
+	if off+rec > s.cfg.Bytes {
+		waste = s.cfg.Bytes - off
+		off = 0
+	}
+	return off, waste
+}
+
+// Send writes payload into peer to's ring (unicast, send_to in the paper).
+// It returns the 1-based payload message index on that peer's ring. With
+// backlog enabled a full ring queues the message instead of failing.
+func (s *Sender) Send(to int, payload []byte) (uint64, error) {
+	ps := s.peer[to]
+	if ps == nil {
+		return 0, fmt.Errorf("ringbuf: unknown peer %d", to)
+	}
+	s.pollCredits(ps)
+	rec := headerSize + len(payload)
+	if rec > s.cfg.Bytes/2 {
+		return 0, ErrTooLarge
+	}
+	_, waste := s.placement(ps, rec)
+	full := ps.inflightBytes+waste+rec > s.cfg.Bytes-headerSize
+	if len(ps.backlog) > 0 || full {
+		// Preserve FIFO: never bypass queued messages.
+		if s.cfg.Backlog {
+			ps.msgIdx++
+			ps.backlog = append(ps.backlog, append([]byte(nil), payload...))
+			return ps.msgIdx, nil
+		}
+		return 0, ErrRingFull
+	}
+	ps.msgIdx++
+	s.emit(ps, payload)
+	return ps.msgIdx, nil
+}
+
+// emit performs the wire writes for one record; capacity must be checked.
+func (s *Sender) emit(ps *peerState, payload []byte) {
+	rec := headerSize + len(payload)
+	off, waste := s.placement(ps, rec)
+	if waste > 0 {
+		if waste >= headerSize {
+			// Explicit wrap marker.
+			ps.wireSeq++
+			var hdr [headerSize]byte
+			binary.LittleEndian.PutUint64(hdr[:], ps.wireSeq)
+			binary.LittleEndian.PutUint32(hdr[8:], wrapMarker)
+			s.write(ps, ps.woff, hdr[:], false)
+		}
+		// A remainder < headerSize wraps implicitly on both sides.
+		ps.woff = 0
+	}
+
+	ps.wireSeq++
+	ps.emitIdx++
+	buf := make([]byte, rec)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(payload)))
+	copy(buf[headerSize:], payload)
+	if s.cfg.TwoWrite {
+		// Derecho style: payload first with a zero sequence word, then a
+		// second write publishes the sequence (the "counter").
+		s.write(ps, off, buf, false)
+		var seqw [8]byte
+		binary.LittleEndian.PutUint64(seqw[:], ps.wireSeq)
+		s.write(ps, off, seqw[:], false)
+	} else {
+		binary.LittleEndian.PutUint64(buf[:8], ps.wireSeq)
+		s.write(ps, off, buf, false)
+	}
+	ps.woff = off + rec
+	ps.inflight = append(ps.inflight, inflightRec{msgIdx: ps.emitIdx, bytes: rec + waste})
+	ps.inflightBytes += rec + waste
+}
+
+func (s *Sender) write(ps *peerState, off int, data []byte, signaled bool) {
+	var err error
+	if signaled {
+		_, err = ps.qp.WriteSignaled(ps.ring, off, data)
+	} else {
+		_, err = ps.qp.Write(ps.ring, off, data)
+	}
+	if err != nil && err != rdma.ErrSendQueueFull {
+		panic(fmt.Sprintf("ringbuf: write failed: %v", err))
+	}
+	// ErrSendQueueFull toward a crashed peer is tolerated: RC toward a dead
+	// node wedges in reality too, and the protocol layer handles the peer's
+	// failure through its own failure detector.
+}
+
+// Broadcast sends payload to every peer (send_to_all). It returns the
+// per-sender message index (identical across peers when the ring is used
+// broadcast-only, as in Acuerdo's normal mode).
+func (s *Sender) Broadcast(payload []byte) (uint64, error) {
+	var idx uint64
+	for _, id := range s.ids {
+		i, err := s.Send(id, payload)
+		if err != nil {
+			return 0, err
+		}
+		idx = i
+	}
+	return idx, nil
+}
+
+// Release records that peer to has consumed payload messages up to and
+// including index upto, freeing ring space and flushing backlog.
+func (s *Sender) Release(to int, upto uint64) {
+	ps := s.peer[to]
+	if ps == nil {
+		return
+	}
+	s.release(ps, upto)
+}
+
+func (s *Sender) release(ps *peerState, upto uint64) {
+	for len(ps.inflight) > 0 && ps.inflight[0].msgIdx <= upto {
+		ps.inflightBytes -= ps.inflight[0].bytes
+		ps.inflight = ps.inflight[1:]
+	}
+	// Flush backlog into freed space, preserving order.
+	for len(ps.backlog) > 0 {
+		payload := ps.backlog[0]
+		rec := headerSize + len(payload)
+		_, waste := s.placement(ps, rec)
+		if ps.inflightBytes+waste+rec > s.cfg.Bytes-headerSize {
+			break
+		}
+		ps.backlog = ps.backlog[1:]
+		s.emit(ps, payload)
+	}
+}
+
+// Backlogged reports how many messages are queued for peer to.
+func (s *Sender) Backlogged(to int) int {
+	if ps := s.peer[to]; ps != nil {
+		return len(ps.backlog)
+	}
+	return 0
+}
+
+// InFlight reports unreleased ring bytes toward peer to.
+func (s *Sender) InFlight(to int) int {
+	if ps := s.peer[to]; ps != nil {
+		return ps.inflightBytes
+	}
+	return 0
+}

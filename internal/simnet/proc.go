@@ -1,0 +1,171 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// DeschedConfig injects OS-scheduler pauses into a Proc: roughly every
+// Interval of CPU time the process is descheduled for Pause. The paper's
+// §4.2 attributes election-duration growth to such "long-latency" nodes;
+// all experiments inject a background level of this noise.
+type DeschedConfig struct {
+	Interval Dist
+	Pause    Dist
+}
+
+// Proc models one process pinned to one CPU core. Work is submitted with Run
+// and executes after the CPU becomes free plus the work's compute cost; the
+// model therefore captures queueing at a saturated CPU, which is what
+// produces the latency "knee" in the Figure 8 experiments.
+//
+// A Proc can be crashed (all pending and future work is dropped), recovered,
+// and descheduled.
+type Proc struct {
+	Sim  *Sim
+	ID   int
+	Name string
+
+	busyUntil Time
+	alive     bool
+	epoch     uint64 // incremented on crash; stale callbacks are dropped
+
+	desched     *DeschedConfig
+	nextDesched Time
+
+	// busyTime accumulates CPU time consumed, for utilization reporting.
+	busyTime time.Duration
+}
+
+// NewProc creates a live process.
+func NewProc(s *Sim, id int, name string) *Proc {
+	return &Proc{Sim: s, ID: id, Name: name, alive: true}
+}
+
+// SetDesched installs (or clears, with nil) a descheduling model. The first
+// deschedule point is sampled from the interval distribution.
+func (p *Proc) SetDesched(cfg *DeschedConfig) {
+	p.desched = cfg
+	if cfg != nil {
+		p.nextDesched = p.Sim.Now().Add(cfg.Interval.Sample(p.Sim.Rand()))
+	}
+}
+
+// Alive reports whether the process has not crashed.
+func (p *Proc) Alive() bool { return p.alive }
+
+// Crash stops the process: every queued and future callback scheduled through
+// this Proc is silently dropped until Recover is called.
+func (p *Proc) Crash() {
+	p.alive = false
+	p.epoch++
+}
+
+// Recover restarts a crashed process with an idle CPU.
+func (p *Proc) Recover() {
+	p.alive = true
+	p.busyUntil = p.Sim.Now()
+	if p.desched != nil {
+		p.nextDesched = p.Sim.Now().Add(p.desched.Interval.Sample(p.Sim.Rand()))
+	}
+}
+
+// Pause deschedules the process for d starting now (on top of queued work).
+func (p *Proc) Pause(d time.Duration) {
+	now := p.Sim.Now()
+	if p.busyUntil < now {
+		p.busyUntil = now
+	}
+	p.busyUntil = p.busyUntil.Add(d)
+}
+
+// BusyUntil returns the time at which the CPU becomes free.
+func (p *Proc) BusyUntil() Time { return p.busyUntil }
+
+// BusyTime returns the total CPU time consumed so far.
+func (p *Proc) BusyTime() time.Duration { return p.busyTime }
+
+// acquire computes when work submitted now can begin, applying descheduling.
+func (p *Proc) acquire() Time {
+	start := p.Sim.Now()
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	if p.desched != nil {
+		for start >= p.nextDesched {
+			pause := p.desched.Pause.Sample(p.Sim.Rand())
+			end := p.nextDesched.Add(pause)
+			if start < end {
+				start = end
+			}
+			p.nextDesched = end.Add(p.desched.Interval.Sample(p.Sim.Rand()))
+		}
+	}
+	return start
+}
+
+// Run submits work costing cost of CPU time; fn runs when the work completes.
+// Work is executed in submission order. If the process crashes before the
+// work completes, fn never runs. fn may be nil to account for cost only.
+// Run returns the completion time.
+func (p *Proc) Run(cost time.Duration, fn func()) Time {
+	if !p.alive {
+		return p.Sim.Now()
+	}
+	if cost < 0 {
+		panic(fmt.Sprintf("simnet: negative cost %v", cost))
+	}
+	start := p.acquire()
+	done := start.Add(cost)
+	p.busyUntil = done
+	p.busyTime += cost
+	epoch := p.epoch
+	p.Sim.At(done, func() {
+		if p.alive && p.epoch == epoch && fn != nil {
+			fn()
+		}
+	})
+	return done
+}
+
+// RunAt is like Run but the work cannot begin before at (used for work
+// triggered by a future external event, e.g. a NIC completion).
+func (p *Proc) RunAt(at Time, cost time.Duration, fn func()) {
+	if !p.alive {
+		return
+	}
+	epoch := p.epoch
+	if at < p.Sim.Now() {
+		at = p.Sim.Now()
+	}
+	p.Sim.At(at, func() {
+		if p.alive && p.epoch == epoch {
+			p.Run(cost, fn)
+		}
+	})
+}
+
+// PollLoop runs poll every interval of idle time, charging cost per
+// iteration, until the returned stop function is called or the process
+// crashes. Polling is how all RDMA receivers discover incoming writes: the
+// loop body drains whatever has accumulated, which is exactly the paper's
+// receiver-side batching model.
+func (p *Proc) PollLoop(interval, cost time.Duration, poll func()) (stop func()) {
+	stopped := false
+	epoch := p.epoch
+	var iter func()
+	iter = func() {
+		if stopped || !p.alive || p.epoch != epoch {
+			return
+		}
+		p.Run(cost, func() {
+			if stopped {
+				return
+			}
+			poll()
+			p.Sim.After(interval, iter)
+		})
+	}
+	iter()
+	return func() { stopped = true }
+}

@@ -1,0 +1,208 @@
+// Package simnet provides a deterministic discrete-event simulator used as
+// the substrate for the simulated RDMA fabric and TCP transport.
+//
+// A Sim owns a virtual clock and an event heap. All protocol code in this
+// repository is written against the simulated clock, which makes every
+// experiment exactly reproducible from a seed: two runs with the same seed
+// execute the same events in the same order and report identical latencies.
+//
+// The package also provides Proc, a simple CPU/process model that accounts
+// for compute costs, models OS descheduling ("long-latency nodes" in the
+// paper's terminology), and supports crash/recover fault injection.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to a time.Duration since simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a scheduled callback. Events with equal timestamps fire in
+// scheduling order (seq), which keeps the simulation deterministic.
+type event struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	stopped bool
+	index   int // heap index, -1 once popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator with a virtual clock.
+//
+// Sim is not safe for concurrent use: the entire simulation is
+// single-threaded by design, which is what makes it deterministic.
+type Sim struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+
+	// Stats
+	processed uint64
+}
+
+// New creates a simulator whose random number generator is seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random number generator.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Processed reports the number of events executed so far.
+func (s *Sim) Processed() uint64 { return s.processed }
+
+// Timer is a handle to a scheduled event that can be stopped before firing.
+type Timer struct {
+	s  *Sim
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the callback was prevented from
+// running (false if it already ran or was already stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.stopped {
+		return false
+	}
+	if t.ev.index < 0 {
+		// Already popped; it either ran or is the currently-running event.
+		t.ev.stopped = true
+		return false
+	}
+	t.ev.stopped = true
+	heap.Remove(&t.s.events, t.ev.index)
+	return true
+}
+
+// At schedules fn to run at time at. Scheduling in the past panics: that is
+// always a logic error in a discrete-event model.
+func (s *Sim) At(at Time, fn func()) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", at, s.now))
+	}
+	s.seq++
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.events, ev)
+	return &Timer{s: s, ev: ev}
+}
+
+// After schedules fn to run d after the current time.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Step executes the next pending event and reports whether one existed.
+func (s *Sim) Step() bool {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.stopped {
+			continue
+		}
+		s.now = ev.at
+		s.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes all events scheduled at or before t, then advances the
+// clock to t.
+func (s *Sim) RunUntil(t Time) {
+	for s.events.Len() > 0 {
+		if s.events[0].at > t {
+			break
+		}
+		if !s.Step() {
+			break
+		}
+		if s.stopped {
+			s.stopped = false
+			return
+		}
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunFor runs the simulation for d of simulated time.
+func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Run executes events until none remain or Stop is called. Protocols with
+// periodic timers never drain the heap; prefer RunUntil/RunFor for those.
+func (s *Sim) Run() {
+	for s.Step() {
+		if s.stopped {
+			s.stopped = false
+			return
+		}
+	}
+}
+
+// Stop makes the currently executing Run/RunUntil call return after the
+// current event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Pending reports the number of scheduled (unfired, unstopped) events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, ev := range s.events {
+		if !ev.stopped {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,335 @@
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.After(30*time.Nanosecond, func() { got = append(got, 3) })
+	s.After(10*time.Nanosecond, func() { got = append(got, 1) })
+	s.After(20*time.Nanosecond, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("clock = %v, want 30ns", s.Now())
+	}
+}
+
+func TestSameTimestampFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(100, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-timestamp events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.After(10, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false for pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := New(1)
+	tm := s.After(10, func() {})
+	s.Run()
+	if tm.Stop() {
+		t.Fatal("Stop returned true after fire")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.After(100, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	s.At(50, func() {})
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New(1)
+	n := 0
+	s.After(10, func() { n++ })
+	s.After(500, func() { n++ })
+	s.RunUntil(100)
+	if n != 1 {
+		t.Fatalf("ran %d events, want 1", n)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", s.Now())
+	}
+	s.RunFor(400 * time.Nanosecond)
+	if n != 2 {
+		t.Fatalf("ran %d events, want 2", n)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := New(1)
+	n := 0
+	s.After(1, func() { n++; s.Stop() })
+	s.After(2, func() { n++ })
+	s.Run()
+	if n != 1 {
+		t.Fatalf("Stop did not halt Run: n=%d", n)
+	}
+	s.Run()
+	if n != 2 {
+		t.Fatalf("resumed Run did not process remaining event: n=%d", n)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var order []string
+	s.After(10, func() {
+		order = append(order, "a")
+		s.After(5, func() { order = append(order, "c") })
+		s.After(0, func() { order = append(order, "b") })
+	})
+	s.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		s := New(42)
+		var stamps []Time
+		for i := 0; i < 100; i++ {
+			d := time.Duration(s.Rand().Intn(1000))
+			s.After(d, func() { stamps = append(stamps, s.Now()) })
+		}
+		s.Run()
+		return stamps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClockMonotoneProperty(t *testing.T) {
+	// Property: no matter what delays are scheduled, events fire in
+	// non-decreasing time order.
+	f := func(delays []uint16) bool {
+		s := New(7)
+		var stamps []Time
+		for _, d := range delays {
+			s.After(time.Duration(d), func() { stamps = append(stamps, s.Now()) })
+		}
+		s.Run()
+		return sort.SliceIsSorted(stamps, func(i, j int) bool { return stamps[i] < stamps[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcSerializesWork(t *testing.T) {
+	s := New(1)
+	p := NewProc(s, 0, "n0")
+	var done []Time
+	p.Run(100*time.Nanosecond, func() { done = append(done, s.Now()) })
+	p.Run(50*time.Nanosecond, func() { done = append(done, s.Now()) })
+	s.Run()
+	if len(done) != 2 || done[0] != 100 || done[1] != 150 {
+		t.Fatalf("completion times = %v, want [100 150]", done)
+	}
+	if p.BusyTime() != 150*time.Nanosecond {
+		t.Fatalf("busy time = %v", p.BusyTime())
+	}
+}
+
+func TestProcCrashDropsWork(t *testing.T) {
+	s := New(1)
+	p := NewProc(s, 0, "n0")
+	ran := false
+	p.Run(100, func() { ran = true })
+	s.After(10, func() { p.Crash() })
+	s.Run()
+	if ran {
+		t.Fatal("work ran on crashed proc")
+	}
+	if p.Alive() {
+		t.Fatal("proc alive after crash")
+	}
+}
+
+func TestProcRecoverDropsStaleWork(t *testing.T) {
+	s := New(1)
+	p := NewProc(s, 0, "n0")
+	var ran []string
+	p.Run(100, func() { ran = append(ran, "old") })
+	s.After(10, func() {
+		p.Crash()
+		p.Recover()
+		p.Run(5, func() { ran = append(ran, "new") })
+	})
+	s.Run()
+	if len(ran) != 1 || ran[0] != "new" {
+		t.Fatalf("ran = %v, want [new]", ran)
+	}
+}
+
+func TestProcPause(t *testing.T) {
+	s := New(1)
+	p := NewProc(s, 0, "n0")
+	p.Pause(1000 * time.Nanosecond)
+	var at Time
+	p.Run(10, func() { at = s.Now() })
+	s.Run()
+	if at != 1010 {
+		t.Fatalf("completion at %v, want 1010", at)
+	}
+}
+
+func TestProcDesched(t *testing.T) {
+	s := New(1)
+	p := NewProc(s, 0, "n0")
+	p.SetDesched(&DeschedConfig{
+		Interval: Constant{100 * time.Nanosecond},
+		Pause:    Constant{1000 * time.Nanosecond},
+	})
+	// Work submitted after the first deschedule point must absorb the pause.
+	s.After(200, func() {
+		p.Run(10, nil)
+	})
+	s.Run()
+	// First deschedule at ~100ns lasts 1000ns -> earliest start 1100 (>=200).
+	if p.BusyUntil() < 1100 {
+		t.Fatalf("busyUntil = %v, want >= 1100 (pause absorbed)", p.BusyUntil())
+	}
+}
+
+func TestPollLoop(t *testing.T) {
+	s := New(1)
+	p := NewProc(s, 0, "n0")
+	n := 0
+	stop := p.PollLoop(100*time.Nanosecond, 10*time.Nanosecond, func() { n++ })
+	s.RunUntil(1000)
+	if n < 8 || n > 11 {
+		t.Fatalf("poll iterations = %d, want ~9-10", n)
+	}
+	stop()
+	prev := n
+	s.RunFor(1000 * time.Nanosecond)
+	if n != prev {
+		t.Fatal("poll loop kept running after stop")
+	}
+}
+
+func TestPollLoopStopsOnCrash(t *testing.T) {
+	s := New(1)
+	p := NewProc(s, 0, "n0")
+	n := 0
+	p.PollLoop(100*time.Nanosecond, 0, func() { n++ })
+	s.After(500, func() { p.Crash() })
+	s.RunUntil(2000)
+	if n > 6 {
+		t.Fatalf("poll loop survived crash: %d iterations", n)
+	}
+}
+
+func TestDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		d    Dist
+	}{
+		{"constant", Constant{5 * time.Microsecond}},
+		{"uniform", Uniform{time.Microsecond, 9 * time.Microsecond}},
+		{"exp", Exponential{MeanD: 5 * time.Microsecond}},
+		{"lognormal", LogNormal{Mu: 8.5, Sigma: 0.5}},
+		{"mixture", Mixture{PA: 0.5, A: Constant{time.Microsecond}, B: Constant{9 * time.Microsecond}}},
+	}
+	for _, c := range cases {
+		var sum time.Duration
+		const n = 20000
+		for i := 0; i < n; i++ {
+			v := c.d.Sample(rng)
+			if v < 0 {
+				t.Fatalf("%s: negative sample %v", c.name, v)
+			}
+			sum += v
+		}
+		mean := sum / n
+		want := c.d.Mean()
+		if want == 0 {
+			continue
+		}
+		ratio := float64(mean) / float64(want)
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("%s: empirical mean %v vs declared %v (ratio %.2f)", c.name, mean, want, ratio)
+		}
+	}
+}
+
+func TestExponentialCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Exponential{MeanD: time.Millisecond, Cap: 2 * time.Millisecond}
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(rng); v > 2*time.Millisecond {
+			t.Fatalf("sample %v exceeds cap", v)
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Uniform{Lo: 5, Hi: 5}
+	if v := d.Sample(rng); v != 5 {
+		t.Fatalf("degenerate uniform = %v", v)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	s := New(1)
+	tm := s.After(10, func() {})
+	s.After(20, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+	tm.Stop()
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+}

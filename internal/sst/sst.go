@@ -1,0 +1,118 @@
+// Package sst implements the Shared State Table abstraction from Derecho
+// (Jha et al., TOCS 2019), which Acuerdo uses for acceptance notifications,
+// commit propagation, and leader election.
+//
+// An SST is a replicated array with one row per node. A node may write only
+// its own row and pushes updates to some or all peers with one-sided RDMA
+// writes; because later writes to the same remote address overwrite earlier
+// ones, the table is ideal for monotonic values where only the last write
+// matters. Reading the local replica yields a (possibly stale) snapshot of
+// every peer's latest pushed row.
+package sst
+
+import (
+	"fmt"
+
+	"acuerdo/internal/rdma"
+)
+
+// Codec serializes row values into a fixed-size byte representation. Rows
+// must be fixed-size so that every update lands at the same remote address.
+type Codec[T any] interface {
+	Size() int
+	Encode(dst []byte, v T)
+	Decode(src []byte) T
+}
+
+// Table is one node's replica of a shared state table.
+type Table[T any] struct {
+	Self  int // this node's row index
+	codec Codec[T]
+	n     int
+
+	local  *rdma.MR   // local replica: peers write their rows here
+	remote []*rdma.MR // peers' replicas (remote[Self] == local)
+	qps    []*rdma.QP // qps[j] targets node j (nil for Self)
+}
+
+// Build creates one table replicated across nodes, returning the per-node
+// handles in node order. Row i may be written only through handle i.
+func Build[T any](nodes []*rdma.Node, codec Codec[T]) []*Table[T] {
+	n := len(nodes)
+	size := codec.Size()
+	tables := make([]*Table[T], n)
+	mrs := make([]*rdma.MR, n)
+	for i, nd := range nodes {
+		mrs[i] = nd.RegisterMemory(n * size)
+	}
+	for i, nd := range nodes {
+		t := &Table[T]{Self: i, codec: codec, n: n, local: mrs[i], remote: mrs}
+		t.qps = make([]*rdma.QP, n)
+		for j, peer := range nodes {
+			if j == i {
+				continue
+			}
+			t.qps[j] = nd.Connect(peer, rdma.NewCQ())
+			// SST pushes are tiny and frequent; sign sparsely.
+			t.qps[j].SignalEvery = 1024
+		}
+		tables[i] = t
+	}
+	return tables
+}
+
+// N returns the number of rows.
+func (t *Table[T]) N() int { return t.n }
+
+func (t *Table[T]) rowBytes(i int) []byte {
+	s := t.codec.Size()
+	return t.local.Buf[i*s : (i+1)*s]
+}
+
+// Set stores v into this node's local row without pushing it.
+func (t *Table[T]) Set(v T) {
+	t.codec.Encode(t.rowBytes(t.Self), v)
+}
+
+// Get decodes row i from the local replica.
+func (t *Table[T]) Get(i int) T {
+	return t.codec.Decode(t.rowBytes(i))
+}
+
+// Snapshot decodes every row of the local replica.
+func (t *Table[T]) Snapshot() []T {
+	out := make([]T, t.n)
+	for i := range out {
+		out[i] = t.Get(i)
+	}
+	return out
+}
+
+// PushMine replicates this node's row to every peer (push_mine in the
+// paper's pseudocode).
+func (t *Table[T]) PushMine() {
+	for j := 0; j < t.n; j++ {
+		if j == t.Self {
+			continue
+		}
+		t.PushMineTo(j)
+	}
+}
+
+// PushMineTo replicates this node's row to peer j only (push_mine_to). Used
+// on the acceptance fast path, where only the leader needs the update.
+func (t *Table[T]) PushMineTo(j int) {
+	if j == t.Self {
+		return
+	}
+	s := t.codec.Size()
+	if _, err := t.qps[j].Write(t.remote[j], t.Self*s, t.rowBytes(t.Self)); err != nil {
+		// Ring full toward a dead/slow peer: SST rows are idempotent
+		// (last write wins), so dropping a push is safe — a later push
+		// carries fresher state. This mirrors real deployments where a
+		// wedged QP to a dead node is simply abandoned.
+		if err != rdma.ErrSendQueueFull && err != rdma.ErrQPClosed {
+			panic(fmt.Sprintf("sst: push failed: %v", err))
+		}
+	}
+}

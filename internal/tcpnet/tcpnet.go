@@ -1,0 +1,158 @@
+// Package tcpnet simulates kernel TCP/IP messaging on the same physical
+// fabric as the RDMA stack, for the paper's TCP baselines (libpaxos,
+// ZooKeeper/Zab, etcd/Raft).
+//
+// The model captures why TCP systems lose to RDMA systems in the paper's
+// evaluation: every send pays a syscall on the sender CPU, every message
+// traverses the kernel network stack on both sides, and — unlike one-sided
+// RDMA writes — delivery requires the receiving *process* to be scheduled
+// (softirq + wakeup), so a busy or descheduled receiver delays every
+// message. Connections are reliable and FIFO, like real TCP.
+package tcpnet
+
+import (
+	"time"
+
+	"acuerdo/internal/simnet"
+)
+
+// Params calibrates the TCP path. See DESIGN.md §5.
+type Params struct {
+	// SendCost is sender CPU per send (syscall + copy).
+	SendCost time.Duration
+	// KernelLatency is the per-side kernel network-stack latency.
+	KernelLatency time.Duration
+	// WakeupLatency is the receiver scheduling delay (softirq -> epoll ->
+	// process runs).
+	WakeupLatency time.Duration
+	// RecvCost is receiver CPU per message (syscall + copy + parse).
+	RecvCost time.Duration
+	// LinkLatency is the one-way wire+switch latency (same fabric as RDMA).
+	LinkLatency time.Duration
+	// Jitter is extra per-message latency noise.
+	Jitter simnet.Dist
+	// Bandwidth is the NIC line rate in bytes/second.
+	Bandwidth float64
+	// WireOverhead is per-message header bytes (Ethernet+IP+TCP).
+	WireOverhead int
+}
+
+// DefaultParams returns the calibrated kernel-TCP constants.
+func DefaultParams() Params {
+	return Params{
+		SendCost:      2500 * time.Nanosecond,
+		KernelLatency: 6 * time.Microsecond,
+		WakeupLatency: 4 * time.Microsecond,
+		RecvCost:      1500 * time.Nanosecond,
+		LinkLatency:   900 * time.Nanosecond,
+		Jitter:        simnet.Exponential{MeanD: 2 * time.Microsecond, Cap: 200 * time.Microsecond},
+		Bandwidth:     3.125e9,
+		WireOverhead:  66,
+	}
+}
+
+// Net is a set of TCP hosts.
+type Net struct {
+	Sim    *simnet.Sim
+	Params Params
+	nodes  []*Node
+}
+
+// New creates an empty network.
+func New(sim *simnet.Sim, p Params) *Net {
+	return &Net{Sim: sim, Params: p}
+}
+
+// Node is one host: a process plus a kernel network path.
+type Node struct {
+	Net  *Net
+	ID   int
+	Proc *simnet.Proc
+
+	nicFreeAt simnet.Time
+	crashed   bool
+
+	// MsgsSent counts sends for reporting.
+	MsgsSent uint64
+}
+
+// AddNode creates a host.
+func (n *Net) AddNode(name string) *Node {
+	nd := &Node{Net: n, ID: len(n.nodes), Proc: simnet.NewProc(n.Sim, len(n.nodes), name)}
+	n.nodes = append(n.nodes, nd)
+	return nd
+}
+
+// Node returns the host with the given ID.
+func (n *Net) Node(id int) *Node { return n.nodes[id] }
+
+// Crash powers the host off; in-flight messages to it are dropped.
+func (nd *Node) Crash() {
+	nd.crashed = true
+	nd.Proc.Crash()
+}
+
+// Recover restarts a crashed host.
+func (nd *Node) Recover() {
+	nd.crashed = false
+	nd.Proc.Recover()
+}
+
+// Crashed reports whether the host is down.
+func (nd *Node) Crashed() bool { return nd.crashed }
+
+// Conn is one direction of a TCP connection. Messages are delivered
+// reliably, in FIFO order, to the receiver's handler — which runs on the
+// receiver's CPU (this is the crucial difference from one-sided RDMA).
+type Conn struct {
+	from, to    *Node
+	handler     func(msg []byte)
+	lastDeliver simnet.Time
+}
+
+// Connect opens a connection from nd to remote; handler runs on remote's
+// process for every delivered message.
+func (nd *Node) Connect(remote *Node, handler func(msg []byte)) *Conn {
+	return &Conn{from: nd, to: remote, handler: handler}
+}
+
+// Send transmits msg. It charges the sender's CPU and NIC and schedules
+// receiver-side processing; delivery is skipped if either end has crashed
+// by the relevant time.
+func (c *Conn) Send(msg []byte) {
+	nd := c.from
+	if nd.crashed {
+		return
+	}
+	p := &nd.Net.Params
+	sim := nd.Net.Sim
+	nd.MsgsSent++
+
+	// Sender: syscall, then kernel path, then NIC serialization.
+	sendDone := nd.Proc.Run(p.SendCost, nil)
+	ser := time.Duration(float64(len(msg)+p.WireOverhead) / p.Bandwidth * 1e9)
+	txStart := sendDone.Add(p.KernelLatency)
+	if nd.nicFreeAt > txStart {
+		txStart = nd.nicFreeAt
+	}
+	txDone := txStart.Add(ser)
+	nd.nicFreeAt = txDone
+
+	lat := p.LinkLatency
+	if p.Jitter != nil {
+		lat += p.Jitter.Sample(sim.Rand())
+	}
+	arrive := txDone.Add(lat + p.KernelLatency)
+	if arrive <= c.lastDeliver {
+		arrive = c.lastDeliver + 1
+	}
+	c.lastDeliver = arrive
+
+	buf := make([]byte, len(msg))
+	copy(buf, msg)
+	to := c.to
+	// Receiver: wakeup + recv processing on the receiving CPU.
+	to.Proc.RunAt(arrive.Add(p.WakeupLatency), p.RecvCost, func() {
+		c.handler(buf)
+	})
+}

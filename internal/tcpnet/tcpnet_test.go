@@ -1,0 +1,138 @@
+package tcpnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"acuerdo/internal/simnet"
+)
+
+func pair(seed int64, jitter bool) (*simnet.Sim, *Node, *Node) {
+	sim := simnet.New(seed)
+	p := DefaultParams()
+	if !jitter {
+		p.Jitter = nil
+	}
+	n := New(sim, p)
+	return sim, n.AddNode("a"), n.AddNode("b")
+}
+
+func TestDelivery(t *testing.T) {
+	sim, a, b := pair(1, false)
+	var got []byte
+	conn := a.Connect(b, func(m []byte) { got = m })
+	conn.Send([]byte("hello"))
+	sim.RunFor(time.Millisecond)
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLatencyIncludesKernelPath(t *testing.T) {
+	sim, a, b := pair(1, false)
+	var at simnet.Time
+	conn := a.Connect(b, func(m []byte) { at = sim.Now() })
+	conn.Send([]byte("x"))
+	sim.RunFor(time.Millisecond)
+	lat := at.Duration()
+	// syscall(2.5) + 2*kernel(12) + wire(~1) + wakeup(4) + recv(1.5) ~ 21us.
+	if lat < 15*time.Microsecond || lat > 35*time.Microsecond {
+		t.Fatalf("TCP one-way latency = %v, want ~20us", lat)
+	}
+}
+
+func TestFIFO(t *testing.T) {
+	sim, a, b := pair(2, true)
+	var got []byte
+	conn := a.Connect(b, func(m []byte) { got = append(got, m[0]) })
+	for i := 0; i < 100; i++ {
+		conn.Send([]byte{byte(i)})
+	}
+	sim.RunFor(10 * time.Millisecond)
+	if len(got) != 100 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	for i, v := range got {
+		if v != byte(i) {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+}
+
+func TestReceiverCPURequired(t *testing.T) {
+	// In contrast to RDMA: a descheduled receiver delays delivery.
+	sim, a, b := pair(3, false)
+	b.Proc.Pause(500 * time.Microsecond)
+	var at simnet.Time
+	conn := a.Connect(b, func(m []byte) { at = sim.Now() })
+	conn.Send([]byte("x"))
+	sim.RunFor(time.Millisecond)
+	if at.Duration() < 500*time.Microsecond {
+		t.Fatalf("delivery at %v did not wait for receiver CPU", at)
+	}
+}
+
+func TestCrashDropsDelivery(t *testing.T) {
+	sim, a, b := pair(4, false)
+	got := false
+	conn := a.Connect(b, func(m []byte) { got = true })
+	b.Crash()
+	conn.Send([]byte("x"))
+	sim.RunFor(time.Millisecond)
+	if got {
+		t.Fatal("delivered to crashed node")
+	}
+}
+
+func TestSenderCrashStopsSends(t *testing.T) {
+	sim, a, b := pair(5, false)
+	got := 0
+	conn := a.Connect(b, func(m []byte) { got++ })
+	conn.Send([]byte{1})
+	a.Crash()
+	conn.Send([]byte{2})
+	sim.RunFor(time.Millisecond)
+	if got != 1 {
+		t.Fatalf("delivered %d, want 1", got)
+	}
+}
+
+func TestFIFOProperty(t *testing.T) {
+	f := func(vals []byte) bool {
+		sim, a, b := pair(6, true)
+		var got []byte
+		conn := a.Connect(b, func(m []byte) { got = append(got, m...) })
+		for _, v := range vals {
+			conn.Send([]byte{v})
+		}
+		sim.RunFor(50 * time.Millisecond)
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	sim, a, b := pair(7, false)
+	var last simnet.Time
+	conn := a.Connect(b, func(m []byte) { last = sim.Now() })
+	const n = 200
+	for i := 0; i < n; i++ {
+		conn.Send(make([]byte, 10000))
+	}
+	sim.RunFor(100 * time.Millisecond)
+	floor := time.Duration(float64(n*10066) / 3.125e9 * 1e9)
+	if last.Duration() < floor {
+		t.Fatalf("finished in %v, below serialization floor %v", last.Duration(), floor)
+	}
+}

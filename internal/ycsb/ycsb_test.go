@@ -1,0 +1,93 @@
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfianRange(t *testing.T) {
+	z := NewZipfian(1000, 0.99)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		v := z.Next(rng)
+		if v >= 1000 {
+			t.Fatalf("value %d out of range", v)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	// With theta=.99 the most popular item should take a large share;
+	// rank-0 frequency under the zipf law is 1/zeta(n).
+	const n = 1000
+	z := NewZipfian(n, 0.99)
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next(rng)]++
+	}
+	want := float64(draws) / zeta(n, 0.99)
+	got := float64(counts[0])
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("rank-0 frequency = %.0f, want ~%.0f", got, want)
+	}
+	// Monotone-ish decay: head must dominate the tail.
+	tail := 0
+	for _, c := range counts[n/2:] {
+		tail += c
+	}
+	if tail > draws/5 {
+		t.Fatalf("tail too heavy: %d of %d", tail, draws)
+	}
+}
+
+func TestZipfianUniformWhenFlat(t *testing.T) {
+	// theta -> 0 approaches uniform: head frequency near draws/n.
+	const n = 100
+	z := NewZipfian(n, 0.01)
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int, n)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Next(rng)]++
+	}
+	if counts[0] > 3*draws/n {
+		t.Fatalf("flat zipfian too skewed: %d", counts[0])
+	}
+}
+
+func TestScramblePreservesRange(t *testing.T) {
+	w := NewWorkload(5000, 100, 0.99, 4)
+	seen := map[string]bool{}
+	for i := 0; i < 50000; i++ {
+		k := w.NextKey()
+		if len(k) != 20 {
+			t.Fatalf("key %q has wrong shape", k)
+		}
+		seen[k] = true
+	}
+	// Scrambling should spread popularity across many distinct keys.
+	if len(seen) < 500 {
+		t.Fatalf("only %d distinct keys", len(seen))
+	}
+}
+
+func TestWorkloadOps(t *testing.T) {
+	w := NewWorkload(1000, 64, 0.99, 5)
+	k, v := w.NextOp()
+	if k == "" || len(v) != 64 {
+		t.Fatalf("op = %q/%d", k, len(v))
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := NewWorkload(1000, 8, 0.99, 7)
+	b := NewWorkload(1000, 8, 0.99, 7)
+	for i := 0; i < 1000; i++ {
+		if a.NextKey() != b.NextKey() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,523 @@
+// Package zab implements the ZooKeeper atomic broadcast baseline (Zab,
+// Junqueira et al., DSN 2011) over the simulated kernel-TCP transport, as
+// deployed by ZooKeeper: a leader proposes, every follower explicitly ACKs
+// every proposal after group-committing it to its transaction log, the
+// leader commits on a quorum of ACKs and distributes COMMIT messages.
+//
+// Contrast with Acuerdo (the point of the paper's comparison): every
+// message needs an explicit per-message acknowledgment over TCP, every hop
+// pays the kernel path and a receiver wakeup, and ZooKeeper's election
+// requires a post-election synchronization/verification exchange before the
+// new leader can serve.
+package zab
+
+import (
+	"encoding/binary"
+	"time"
+
+	"acuerdo/internal/abcast"
+	"acuerdo/internal/simnet"
+	"acuerdo/internal/tcpnet"
+)
+
+// Config tunes the ZooKeeper baseline.
+type Config struct {
+	N int
+	// LeaderOpCost is leader CPU per client request (request processor
+	// pipeline).
+	LeaderOpCost time.Duration
+	// FollowerOpCost is follower CPU per proposal.
+	FollowerOpCost time.Duration
+	// FsyncCost is the transaction-log group-commit cost; concurrent
+	// proposals share one sync.
+	FsyncCost time.Duration
+	// HeartbeatInterval and ElectTimeout drive failure detection.
+	HeartbeatInterval time.Duration
+	ElectTimeout      time.Duration
+}
+
+// DefaultConfig returns calibrated ZooKeeper 3.4-era constants.
+func DefaultConfig(n int) Config {
+	return Config{
+		N:                 n,
+		LeaderOpCost:      6 * time.Microsecond,
+		FollowerOpCost:    3 * time.Microsecond,
+		FsyncCost:         80 * time.Microsecond,
+		HeartbeatInterval: 1 * time.Millisecond,
+		ElectTimeout:      8 * time.Millisecond,
+	}
+}
+
+// Wire message kinds.
+const (
+	mPropose = byte(iota)
+	mAck
+	mCommit
+	mVote
+	mNewLeader
+	mNewLeaderAck
+	mPing
+)
+
+type entry struct {
+	zxid    uint64
+	payload []byte
+}
+
+type roleT int
+
+const (
+	looking roleT = iota
+	leading
+	following
+)
+
+// Server is one ZooKeeper replica.
+type Server struct {
+	c    *Cluster
+	id   int
+	node *tcpnet.Node
+	out  []*tcpnet.Conn // to each peer (nil for self)
+
+	role      roleT
+	active    bool // leader only: finished the post-election sync round
+	epoch     uint32
+	counter   uint32 // per-epoch proposal counter (leader)
+	leader    int
+	lastZxid  uint64
+	log       []entry
+	committed int // entries [0,committed) delivered
+	acks      map[uint64]int
+	nlAcks    int
+
+	pendingPersist []entry
+	persistCBs     []func()
+	persistBusy    bool
+
+	votes      map[int]voteT
+	lastPing   simnet.Time
+	pingTimer  *simnet.Timer
+	electTimer *simnet.Timer
+}
+
+type voteT struct {
+	epoch uint32
+	zxid  uint64
+	id    int
+}
+
+func (v voteT) better(o voteT) bool {
+	if v.epoch != o.epoch {
+		return v.epoch > o.epoch
+	}
+	if v.zxid != o.zxid {
+		return v.zxid > o.zxid
+	}
+	return v.id > o.id
+}
+
+func enc(kind byte, epoch uint32, zxid uint64, payload []byte) []byte {
+	b := make([]byte, 13+len(payload))
+	b[0] = kind
+	binary.LittleEndian.PutUint32(b[1:], epoch)
+	binary.LittleEndian.PutUint64(b[5:], zxid)
+	copy(b[13:], payload)
+	return b
+}
+
+func dec(m []byte) (kind byte, epoch uint32, zxid uint64, payload []byte) {
+	return m[0], binary.LittleEndian.Uint32(m[1:]), binary.LittleEndian.Uint64(m[5:]), m[13:]
+}
+
+// Cluster is a ZooKeeper ensemble plus a client host. It implements
+// abcast.System.
+type Cluster struct {
+	Sim     *simnet.Sim
+	Net     *tcpnet.Net
+	Servers []*Server
+	Client  *tcpnet.Node
+	cfg     Config
+
+	toLeader []*tcpnet.Conn // client -> each server
+	toClient []*tcpnet.Conn // each server -> client
+	pending  map[uint64]func()
+
+	// OnDeliver observes every delivery (tests, KV store).
+	OnDeliver func(replica int, zxid uint64, payload []byte)
+}
+
+// NewCluster builds the ensemble.
+func NewCluster(sim *simnet.Sim, net *tcpnet.Net, cfg Config) *Cluster {
+	c := &Cluster{Sim: sim, Net: net, cfg: cfg, pending: make(map[uint64]func())}
+	nodes := make([]*tcpnet.Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		nodes[i] = net.AddNode("zk")
+	}
+	c.Client = net.AddNode("zk-client")
+	c.Servers = make([]*Server, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		c.Servers[i] = &Server{
+			c: c, id: i, node: nodes[i],
+			leader: -1,
+			acks:   make(map[uint64]int),
+			votes:  make(map[int]voteT),
+		}
+	}
+	for i, s := range c.Servers {
+		s.out = make([]*tcpnet.Conn, cfg.N)
+		for j := range c.Servers {
+			if i == j {
+				continue
+			}
+			peer := c.Servers[j]
+			s.out[j] = nodes[i].Connect(nodes[j], peer.handle)
+		}
+	}
+	c.toLeader = make([]*tcpnet.Conn, cfg.N)
+	c.toClient = make([]*tcpnet.Conn, cfg.N)
+	for i, s := range c.Servers {
+		s := s
+		c.toLeader[i] = c.Client.Connect(nodes[i], func(m []byte) { s.clientRequest(m) })
+		c.toClient[i] = nodes[i].Connect(c.Client, c.clientAck)
+	}
+	return c
+}
+
+// Start boots every server into election.
+func (c *Cluster) Start() {
+	for _, s := range c.Servers {
+		s.startElection()
+	}
+}
+
+func (s *Server) alive() bool { return !s.node.Crashed() }
+
+func (s *Server) send(j int, m []byte) {
+	if s.out[j] != nil {
+		s.out[j].Send(m)
+	}
+}
+
+func (s *Server) broadcast(m []byte) {
+	for j := range s.out {
+		if j != s.id {
+			s.send(j, m)
+		}
+	}
+}
+
+// --- broadcast mode ---
+
+func (s *Server) clientRequest(payload []byte) {
+	if s.role != leading || !s.active {
+		return // dropped; client retries
+	}
+	s.node.Proc.Run(s.c.cfg.LeaderOpCost, func() {
+		if s.role != leading {
+			return
+		}
+		s.counter++
+		zxid := uint64(s.epoch)<<32 | uint64(s.counter)
+		s.lastZxid = zxid
+		e := entry{zxid: zxid, payload: append([]byte(nil), payload...)}
+		s.log = append(s.log, e)
+		s.acks[zxid] = 0
+		s.broadcast(enc(mPropose, s.epoch, zxid, payload))
+		// The leader counts its own ack after its own group commit.
+		s.persist(e, func() { s.onAck(zxid) })
+	})
+}
+
+// persist models the transaction-log group commit: entries queue while one
+// sync is in flight and are acknowledged together when it completes.
+func (s *Server) persist(e entry, done func()) {
+	s.pendingPersist = append(s.pendingPersist, e)
+	s.persistCBs = append(s.persistCBs, done)
+	if !s.persistBusy {
+		s.persistBusy = true
+		s.runPersist()
+	}
+}
+
+func (s *Server) runPersist() {
+	s.pendingPersist = nil
+	cbs := s.persistCBs
+	s.persistCBs = nil
+	s.node.Proc.Run(s.c.cfg.FsyncCost, func() {
+		for _, cb := range cbs {
+			cb()
+		}
+		if len(s.persistCBs) > 0 {
+			s.runPersist()
+		} else {
+			s.persistBusy = false
+		}
+	})
+}
+
+func (s *Server) handle(m []byte) {
+	kind, epoch, zxid, payload := dec(m)
+	switch kind {
+	case mPropose:
+		if s.role != following || epoch != s.epoch {
+			return
+		}
+		s.node.Proc.Pause(s.c.cfg.FollowerOpCost)
+		e := entry{zxid: zxid, payload: append([]byte(nil), payload...)}
+		s.log = append(s.log, e)
+		s.persist(e, func() { s.send(s.leader, enc(mAck, s.epoch, zxid, nil)) })
+	case mAck:
+		if s.role != leading || epoch != s.epoch {
+			return
+		}
+		s.onAck(zxid)
+	case mCommit:
+		if s.role != following || epoch != s.epoch {
+			return
+		}
+		s.deliverUpTo(zxid)
+	case mVote:
+		s.onVote(epoch, zxid,
+			int(binary.LittleEndian.Uint32(payload)),
+			int(binary.LittleEndian.Uint32(payload[4:])))
+	case mNewLeader:
+		s.onNewLeader(epoch, zxid, payload)
+	case mNewLeaderAck:
+		if s.role == leading && epoch == s.epoch {
+			s.nlAcks++
+			if s.nlAcks+1 >= s.c.quorum() && !s.active {
+				s.active = true // verification round complete; serve clients
+			}
+		}
+	case mPing:
+		if s.role == following && epoch == s.epoch {
+			s.lastPing = s.c.Sim.Now()
+		}
+	}
+}
+
+func (s *Server) onAck(zxid uint64) {
+	n, ok := s.acks[zxid]
+	if !ok {
+		return
+	}
+	n++
+	s.acks[zxid] = n
+	if n >= s.c.quorum() {
+		delete(s.acks, zxid)
+		s.broadcast(enc(mCommit, s.epoch, zxid, nil))
+		s.deliverUpTo(zxid)
+	}
+}
+
+func (s *Server) deliverUpTo(zxid uint64) {
+	for s.committed < len(s.log) && s.log[s.committed].zxid <= zxid {
+		e := s.log[s.committed]
+		s.committed++
+		if s.c.OnDeliver != nil {
+			s.c.OnDeliver(s.id, e.zxid, e.payload)
+		}
+		if s.role == leading && len(e.payload) >= 8 {
+			s.c.toClient[s.id].Send(e.payload[:8])
+		}
+	}
+}
+
+// --- election (leader heartbeats, fast-leader-election flavored voting,
+// and the post-election sync + verification exchange) ---
+
+func (s *Server) startElection() {
+	s.role = looking
+	s.active = false
+	s.leader = -1
+	s.epoch++
+	s.votes = map[int]voteT{s.id: {s.epoch, s.lastZxid, s.id}}
+	s.sendVote()
+	s.armElectTimer()
+}
+
+func (s *Server) sendVote() {
+	v := s.votes[s.id]
+	idb := make([]byte, 8)
+	binary.LittleEndian.PutUint32(idb, uint32(v.id))
+	binary.LittleEndian.PutUint32(idb[4:], uint32(s.id))
+	s.broadcast(enc(mVote, v.epoch, v.zxid, idb))
+}
+
+// onVote processes sender's vote for candidate (with the candidate's last
+// zxid). The votes map is keyed by sender.
+func (s *Server) onVote(epoch uint32, zxid uint64, candidate, sender int) {
+	if s.role == leading && epoch <= s.epoch {
+		return
+	}
+	if s.role == following && epoch <= s.epoch {
+		return
+	}
+	if s.role != looking {
+		s.startElection()
+	}
+	if epoch > s.epoch {
+		s.epoch = epoch
+		s.votes = map[int]voteT{}
+	}
+	v := voteT{epoch, zxid, candidate}
+	s.votes[sender] = v
+	mine, ok := s.votes[s.id]
+	if !ok {
+		mine = voteT{s.epoch, s.lastZxid, s.id}
+		s.votes[s.id] = mine
+	}
+	if v.better(mine) {
+		// Adopt the better candidate.
+		s.votes[s.id] = v
+		s.sendVote()
+	}
+	// Count senders agreeing on my current vote's candidate.
+	cur := s.votes[s.id]
+	n := 0
+	for _, o := range s.votes {
+		if o.epoch == cur.epoch && o.id == cur.id && o.zxid == cur.zxid {
+			n++
+		}
+	}
+	if n >= s.c.quorum() && cur.id == s.id {
+		s.becomeLeader()
+	}
+}
+
+func (s *Server) becomeLeader() {
+	s.role = leading
+	s.leader = s.id
+	s.active = false
+	s.nlAcks = 0
+	s.acks = make(map[uint64]int)
+	s.counter = 0
+	// Synchronize followers: ship the whole uncommitted suffix (ZooKeeper
+	// DIFF sync), then wait for a quorum of acknowledgments — the extra
+	// verification exchange the paper contrasts with Acuerdo's election.
+	suffix := make([]byte, 4)
+	binary.LittleEndian.PutUint32(suffix, uint32(s.id))
+	for _, e := range s.log[s.committed:] {
+		rec := make([]byte, 12+len(e.payload))
+		binary.LittleEndian.PutUint64(rec, e.zxid)
+		binary.LittleEndian.PutUint32(rec[8:], uint32(len(e.payload)))
+		copy(rec[12:], e.payload)
+		suffix = append(suffix, rec...)
+	}
+	s.broadcast(enc(mNewLeader, s.epoch, uint64(s.committed), suffix))
+	s.schedulePing()
+}
+
+func (s *Server) onNewLeader(epoch uint32, committed uint64, suffix []byte) {
+	if epoch < s.epoch {
+		return
+	}
+	s.epoch = epoch
+	s.role = following
+	s.active = false
+	s.leader = int(binary.LittleEndian.Uint32(suffix))
+	suffix = suffix[4:]
+	// Truncate uncommitted suffix and adopt the leader's.
+	s.log = s.log[:s.committed]
+	for off := 0; off+12 <= len(suffix); {
+		zxid := binary.LittleEndian.Uint64(suffix[off:])
+		ln := int(binary.LittleEndian.Uint32(suffix[off+8:]))
+		pl := append([]byte(nil), suffix[off+12:off+12+ln]...)
+		if len(s.log) == 0 || s.log[len(s.log)-1].zxid < zxid {
+			s.log = append(s.log, entry{zxid, pl})
+		}
+		off += 12 + ln
+	}
+	if len(s.log) > 0 {
+		s.lastZxid = s.log[len(s.log)-1].zxid
+	}
+	_ = committed
+	s.lastPing = s.c.Sim.Now()
+	s.send(s.leader, enc(mNewLeaderAck, s.epoch, 0, nil))
+	s.armFollowTimer()
+}
+
+func (s *Server) schedulePing() {
+	if s.role != leading || !s.alive() {
+		return
+	}
+	s.broadcast(enc(mPing, s.epoch, 0, nil))
+	s.c.Sim.After(s.c.cfg.HeartbeatInterval, s.schedulePing)
+}
+
+func (s *Server) armFollowTimer() {
+	s.c.Sim.After(s.c.cfg.ElectTimeout, func() {
+		if s.role != following || !s.alive() {
+			return
+		}
+		if s.c.Sim.Now().Sub(s.lastPing) >= s.c.cfg.ElectTimeout {
+			s.startElection()
+			return
+		}
+		s.armFollowTimer()
+	})
+}
+
+func (s *Server) armElectTimer() {
+	s.c.Sim.After(s.c.cfg.ElectTimeout, func() {
+		if s.role == looking && s.alive() {
+			// Election stalled (e.g., votes lost to a crash); retry.
+			s.startElection()
+		}
+	})
+}
+
+// --- cluster-level client API ---
+
+func (c *Cluster) quorum() int { return c.cfg.N/2 + 1 }
+
+// LeaderIdx returns the active leader index or -1.
+func (c *Cluster) LeaderIdx() int {
+	for i, s := range c.Servers {
+		if s.role == leading && s.active && s.alive() {
+			return i
+		}
+	}
+	return -1
+}
+
+// Name implements abcast.System.
+func (c *Cluster) Name() string { return "zookeeper" }
+
+// Ready implements abcast.System.
+func (c *Cluster) Ready() bool { return c.LeaderIdx() >= 0 }
+
+// Submit implements abcast.System.
+func (c *Cluster) Submit(payload []byte, done func()) {
+	id := abcast.MsgID(payload)
+	c.pending[id] = done
+	c.sendReq(id, payload)
+}
+
+func (c *Cluster) sendReq(id uint64, payload []byte) {
+	ldr := c.LeaderIdx()
+	if ldr < 0 {
+		c.Sim.After(time.Millisecond, func() { c.retry(id, payload) })
+		return
+	}
+	c.toLeader[ldr].Send(payload)
+	c.Sim.After(20*time.Millisecond, func() { c.retry(id, payload) })
+}
+
+func (c *Cluster) retry(id uint64, payload []byte) {
+	if _, ok := c.pending[id]; ok {
+		c.sendReq(id, payload)
+	}
+}
+
+func (c *Cluster) clientAck(m []byte) {
+	id := abcast.MsgID(m)
+	if done, ok := c.pending[id]; ok {
+		delete(c.pending, id)
+		if done != nil {
+			done()
+		}
+	}
+}
+
+var _ abcast.System = (*Cluster)(nil)
