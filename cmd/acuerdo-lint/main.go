@@ -1,0 +1,99 @@
+// Command acuerdo-lint is the multichecker driver for the determinism lint
+// suite in internal/lint. It type-checks the requested packages and runs the
+// nowallclock, maporder, and simproc analyzers over every simulation-driven
+// package, exiting nonzero if any rule fires.
+//
+// Usage:
+//
+//	go run ./cmd/acuerdo-lint [-analyzers=nowallclock,maporder,simproc] [packages]
+//
+// With no package arguments it checks ./.... Findings print as
+// file:line:col: message (analyzer). A finding can be locally waived with a
+// "//lint:ignore <analyzer> <reason>" comment on, or directly above, the
+// offending line — reviewers then see the reason in the diff.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"acuerdo/internal/lint"
+)
+
+func main() {
+	names := flag.String("analyzers", "", "comma-separated analyzer subset to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: acuerdo-lint [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, az := range analyzers {
+			fmt.Printf("%-12s %s\n", az.Name, az.Doc)
+		}
+		return
+	}
+	if *names != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, az := range analyzers {
+			byName[az.Name] = az
+		}
+		analyzers = nil
+		for _, n := range strings.Split(*names, ",") {
+			az, ok := byName[strings.TrimSpace(n)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "acuerdo-lint: unknown analyzer %q\n", n)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, az)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acuerdo-lint:", err)
+		os.Exit(2)
+	}
+	loader := lint.NewLoader(cwd)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acuerdo-lint:", err)
+		os.Exit(2)
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(os.Stderr, "acuerdo-lint: no packages match %s\n", strings.Join(patterns, " "))
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, pkg := range pkgs {
+		if !lint.InScope(pkg.PkgPath) {
+			continue
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "acuerdo-lint: %s: %v\n", pkg.PkgPath, terr)
+			exit = 2
+		}
+		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acuerdo-lint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}

@@ -107,6 +107,37 @@ func (c *Checker) CheckTotalOrder() error {
 	return nil
 }
 
+// Agreement checks the fourth atomic-broadcast property: every message
+// committed at one replica is delivered at all live replicas up to the
+// committed prefix. The committed prefix is the shortest delivery sequence
+// across the tracked replicas (the checker treats every tracked replica as
+// live; exclude crashed replicas by building a checker over the survivors).
+// minPrefix is the caller's liveness floor: the run must have committed at
+// least that many messages everywhere, which keeps a trivially empty prefix
+// from passing vacuously.
+func (c *Checker) Agreement(minPrefix int) error {
+	if minPrefix < 0 {
+		return fmt.Errorf("agreement: negative minPrefix %d", minPrefix)
+	}
+	prefix := c.MinDelivered()
+	if prefix < minPrefix {
+		return fmt.Errorf("agreement violated: committed prefix is %d messages, caller requires at least %d at every live replica", prefix, minPrefix)
+	}
+	if len(c.delivered) == 0 {
+		return nil
+	}
+	ref := c.delivered[0]
+	for i, d := range c.delivered[1:] {
+		for k := 0; k < prefix; k++ {
+			if d[k] != ref[k] {
+				return fmt.Errorf("agreement violated: node %d delivered %d at position %d of the committed prefix, node 0 delivered %d",
+					i+1, d[k], k, ref[k])
+			}
+		}
+	}
+	return nil
+}
+
 // MinDelivered returns the shortest delivery sequence length (the committed
 // prefix guaranteed at every replica).
 func (c *Checker) MinDelivered() int {
@@ -134,6 +165,10 @@ type LoadConfig struct {
 	// are discarded.
 	Warmup  time.Duration
 	Measure time.Duration
+	// OnSubmit, if non-nil, observes every message id the instant it is
+	// handed to the system — before any delivery can occur. The seed-replay
+	// harness uses it to feed the safety checker's broadcast record.
+	OnSubmit func(id uint64)
 }
 
 // LoadResult is one measured load point.
@@ -172,6 +207,9 @@ func RunClosedLoop(sim *simnet.Sim, sys System, cfg LoadConfig) LoadResult {
 		nextID++
 		payload := make([]byte, cfg.MsgSize)
 		PutMsgID(payload, nextID)
+		if cfg.OnSubmit != nil {
+			cfg.OnSubmit(nextID)
+		}
 		sent := sim.Now()
 		sys.Submit(payload, func() {
 			if measuring {

@@ -73,6 +73,65 @@ func TestCheckerTotalOrder(t *testing.T) {
 	}
 }
 
+func TestCheckerAgreement(t *testing.T) {
+	c := NewChecker(3)
+	for i := uint64(1); i <= 4; i++ {
+		c.OnBroadcast(i)
+	}
+	for _, id := range []uint64{1, 2, 3, 4} {
+		c.OnDeliver(0, id)
+	}
+	for _, id := range []uint64{1, 2, 3} {
+		c.OnDeliver(1, id)
+	}
+	for _, id := range []uint64{1, 2} {
+		c.OnDeliver(2, id)
+	}
+	// Committed prefix is 2 (the shortest sequence); everything up to it
+	// agrees everywhere.
+	if err := c.Agreement(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Agreement(2); err != nil {
+		t.Fatal(err)
+	}
+	// Requiring more than the committed prefix is a liveness failure.
+	if err := c.Agreement(3); err == nil {
+		t.Fatal("prefix of 2 satisfied a floor of 3")
+	}
+	if err := c.Agreement(-1); err == nil {
+		t.Fatal("negative floor accepted")
+	}
+}
+
+func TestCheckerAgreementDivergence(t *testing.T) {
+	c := NewChecker(2)
+	for i := uint64(1); i <= 2; i++ {
+		c.OnBroadcast(i)
+	}
+	// Both replicas commit two messages, but in different orders: the
+	// committed prefix itself disagrees.
+	c.OnDeliver(0, 1)
+	c.OnDeliver(0, 2)
+	c.OnDeliver(1, 2)
+	c.OnDeliver(1, 1)
+	if err := c.Agreement(0); err == nil {
+		t.Fatal("divergent committed prefix accepted")
+	}
+}
+
+func TestCheckerAgreementEmpty(t *testing.T) {
+	// No replicas tracked: vacuously satisfied at floor 0.
+	c := NewChecker(0)
+	if err := c.Agreement(0); err != nil {
+		t.Fatal(err)
+	}
+	// But a positive floor cannot be met by an empty cluster.
+	if err := c.Agreement(1); err == nil {
+		t.Fatal("empty cluster satisfied a positive floor")
+	}
+}
+
 func TestCheckerPrefixProperty(t *testing.T) {
 	// Property: if all nodes deliver prefixes of one sequence, the check
 	// passes; flipping any two adjacent distinct elements at one node

@@ -1,0 +1,167 @@
+// Seed-replay harness: the runtime half of the determinism suite.
+//
+// The static analyzers in internal/lint forbid the constructs that are known
+// to break seed-determinism (wall clocks, global randomness, map-order
+// dependence, raw goroutines); this harness checks the invariant itself, end
+// to end: building a system twice from the same seed and driving it with the
+// same closed-loop load must produce byte-identical delivery sequences at
+// every replica and a byte-identical latency sample stream. Any divergence —
+// a different election winner, a reordered commit, a latency off by one
+// event — shows up as a fingerprint mismatch pinpointing the first differing
+// record.
+package abcast
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"acuerdo/internal/simnet"
+)
+
+// SystemBuilder constructs a system on sim, wiring deliver to run for every
+// replica-level delivery (replica index plus the delivered payload). The
+// builder is invoked once per run with a fresh simulator so no state can leak
+// between runs.
+type SystemBuilder func(sim *simnet.Sim, deliver func(replica int, payload []byte)) System
+
+// ReplayRun captures everything one seeded run observed that the determinism
+// invariant promises to reproduce.
+type ReplayRun struct {
+	// Result is the measured load point, including the latency histogram.
+	Result LoadResult
+	// Delivered is each replica's delivery sequence, in delivery order.
+	Delivered [][]uint64
+}
+
+// replayReadyPolls bounds the pre-load warmup that waits for leader election,
+// mirroring the bench harness's instance warmup.
+const replayReadyPolls = 400
+
+// ReplayOnce builds a system from seed via build, waits for it to become
+// ready, drives it with the closed-loop load cfg, and returns the run's
+// observations. Safety (integrity, no duplication, total order) is checked as
+// a side effect: a run that violates atomic broadcast fails here rather than
+// producing a comparable-but-wrong fingerprint.
+func ReplayOnce(build SystemBuilder, replicas int, seed int64, cfg LoadConfig) (*ReplayRun, error) {
+	sim := simnet.New(seed)
+	checker := NewChecker(replicas)
+	var deliverErr error
+	sys := build(sim, func(replica int, payload []byte) {
+		if err := checker.OnDeliver(replica, MsgID(payload)); err != nil && deliverErr == nil {
+			deliverErr = err
+		}
+	})
+	for i := 0; i < replayReadyPolls && !sys.Ready(); i++ {
+		sim.RunFor(5 * time.Millisecond)
+	}
+	if !sys.Ready() {
+		return nil, fmt.Errorf("replay: %s never became ready", sys.Name())
+	}
+	cfg.OnSubmit = checker.OnBroadcast
+	res := RunClosedLoop(sim, sys, cfg)
+	if deliverErr != nil {
+		return nil, fmt.Errorf("replay: %s: %w", sys.Name(), deliverErr)
+	}
+	if err := checker.CheckTotalOrder(); err != nil {
+		return nil, fmt.Errorf("replay: %s: %w", sys.Name(), err)
+	}
+	run := &ReplayRun{Result: res}
+	for node := 0; node < replicas; node++ {
+		seq := checker.Delivered(node)
+		run.Delivered = append(run.Delivered, append([]uint64(nil), seq...))
+	}
+	return run, nil
+}
+
+// Fingerprint serializes the run's observable behavior: per-replica delivery
+// sequences, then the latency samples in measurement order, then the commit
+// count and measured interval. Two same-seed runs must produce equal bytes.
+func (r *ReplayRun) Fingerprint() []byte {
+	var buf bytes.Buffer
+	put := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf.Write(b[:])
+	}
+	put(uint64(len(r.Delivered)))
+	for _, seq := range r.Delivered {
+		put(uint64(len(seq)))
+		for _, id := range seq {
+			put(id)
+		}
+	}
+	samples := r.Result.Latency.Samples()
+	put(uint64(len(samples)))
+	for _, s := range samples {
+		put(uint64(s))
+	}
+	put(uint64(r.Result.Committed))
+	put(uint64(r.Result.Elapsed))
+	return buf.Bytes()
+}
+
+// VerifyReplay runs the system `runs` times from the same seed and fails on
+// the first observable divergence. Two runs already witness nondeterminism;
+// more runs raise the chance of catching divergence that needs an unlucky
+// map-iteration order to manifest.
+func VerifyReplay(build SystemBuilder, replicas int, seed int64, cfg LoadConfig, runs int) error {
+	if runs < 2 {
+		return fmt.Errorf("replay: need at least 2 runs to compare, got %d", runs)
+	}
+	var first *ReplayRun
+	for i := 0; i < runs; i++ {
+		run, err := ReplayOnce(build, replicas, seed, cfg)
+		if err != nil {
+			return fmt.Errorf("run %d: %w", i, err)
+		}
+		if first == nil {
+			first = run
+			continue
+		}
+		if err := diffRuns(first, run, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// diffRuns reports the first observable difference between run 0 and run i,
+// in terms a protocol author can act on.
+func diffRuns(a, b *ReplayRun, i int) error {
+	for node := range a.Delivered {
+		as, bs := a.Delivered[node], b.Delivered[node]
+		n := min(len(as), len(bs))
+		for k := 0; k < n; k++ {
+			if as[k] != bs[k] {
+				return fmt.Errorf("replay diverged: node %d delivered message %d at position %d in run 0 but %d in run %d",
+					node, as[k], k, bs[k], i)
+			}
+		}
+		if len(as) != len(bs) {
+			return fmt.Errorf("replay diverged: node %d delivered %d messages in run 0 but %d in run %d",
+				node, len(as), len(bs), i)
+		}
+	}
+	sa, sb := a.Result.Latency.Samples(), b.Result.Latency.Samples()
+	n := min(len(sa), len(sb))
+	for k := 0; k < n; k++ {
+		if sa[k] != sb[k] {
+			return fmt.Errorf("replay diverged: latency sample %d is %v in run 0 but %v in run %d",
+				k, sa[k], sb[k], i)
+		}
+	}
+	if len(sa) != len(sb) {
+		return fmt.Errorf("replay diverged: run 0 measured %d latency samples, run %d measured %d",
+			len(sa), i, len(sb))
+	}
+	if a.Result.Committed != b.Result.Committed || a.Result.Elapsed != b.Result.Elapsed {
+		return fmt.Errorf("replay diverged: run 0 committed %d in %v, run %d committed %d in %v",
+			a.Result.Committed, a.Result.Elapsed, i, b.Result.Committed, b.Result.Elapsed)
+	}
+	if !bytes.Equal(a.Fingerprint(), b.Fingerprint()) {
+		return fmt.Errorf("replay diverged: fingerprints differ between run 0 and run %d", i)
+	}
+	return nil
+}

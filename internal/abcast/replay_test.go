@@ -1,0 +1,163 @@
+package abcast
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"acuerdo/internal/simnet"
+)
+
+// echoSystem commits after a latency drawn from the simulation's seeded RNG
+// and delivers to every replica — a minimal deterministic system for
+// exercising the harness without a protocol stack.
+type echoSystem struct {
+	sim      *simnet.Sim
+	replicas int
+	deliver  func(replica int, payload []byte)
+	// skew, when nonzero, shifts every latency — simulating a
+	// nondeterministic system whose behavior changes between builds.
+	skew time.Duration
+}
+
+func (e *echoSystem) Name() string { return "echo" }
+func (e *echoSystem) Ready() bool  { return true }
+func (e *echoSystem) Submit(payload []byte, done func()) {
+	p := append([]byte(nil), payload...)
+	lat := time.Duration(1+e.sim.Rand().Intn(5))*time.Microsecond + e.skew
+	e.sim.After(lat, func() {
+		for r := 0; r < e.replicas; r++ {
+			e.deliver(r, p)
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+func echoBuilder(replicas int, skew *time.Duration) SystemBuilder {
+	return func(sim *simnet.Sim, deliver func(replica int, payload []byte)) System {
+		e := &echoSystem{sim: sim, replicas: replicas, deliver: deliver}
+		if skew != nil {
+			e.skew = *skew
+			*skew += time.Microsecond // each build behaves differently
+		}
+		return e
+	}
+}
+
+var replayCfg = LoadConfig{
+	Window:  4,
+	MsgSize: 16,
+	Warmup:  100 * time.Microsecond,
+	Measure: 2 * time.Millisecond,
+}
+
+func TestReplayOnceObservesRun(t *testing.T) {
+	run, err := ReplayOnce(echoBuilder(3, nil), 3, 7, replayCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Result.Committed == 0 {
+		t.Fatal("no commits measured")
+	}
+	if len(run.Delivered) != 3 {
+		t.Fatalf("tracked %d replicas, want 3", len(run.Delivered))
+	}
+	for r, seq := range run.Delivered {
+		if len(seq) == 0 {
+			t.Fatalf("replica %d delivered nothing", r)
+		}
+	}
+	if len(run.Fingerprint()) == 0 {
+		t.Fatal("empty fingerprint")
+	}
+}
+
+func TestVerifyReplayAcceptsDeterministicSystem(t *testing.T) {
+	if err := VerifyReplay(echoBuilder(3, nil), 3, 7, replayCfg, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyReplayCatchesDivergence(t *testing.T) {
+	var skew time.Duration
+	err := VerifyReplay(echoBuilder(3, &skew), 3, 7, replayCfg, 2)
+	if err == nil {
+		t.Fatal("nondeterministic system passed replay verification")
+	}
+	if !strings.Contains(err.Error(), "replay diverged") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestVerifyReplayNeedsTwoRuns(t *testing.T) {
+	if err := VerifyReplay(echoBuilder(3, nil), 3, 7, replayCfg, 1); err == nil {
+		t.Fatal("single-run comparison accepted")
+	}
+}
+
+// neverReady stalls forever; the harness must fail rather than hang.
+type neverReady struct{}
+
+func (neverReady) Name() string                 { return "never-ready" }
+func (neverReady) Ready() bool                  { return false }
+func (neverReady) Submit(p []byte, done func()) {}
+
+func TestReplayOnceNeverReady(t *testing.T) {
+	build := func(sim *simnet.Sim, deliver func(int, []byte)) System { return neverReady{} }
+	if _, err := ReplayOnce(build, 1, 1, replayCfg); err == nil {
+		t.Fatal("never-ready system did not error")
+	}
+}
+
+// rogueSystem delivers a message that was never broadcast; the harness's
+// embedded safety checker must reject the run.
+type rogueSystem struct {
+	sim     *simnet.Sim
+	deliver func(replica int, payload []byte)
+}
+
+func (r *rogueSystem) Name() string { return "rogue" }
+func (r *rogueSystem) Ready() bool  { return true }
+func (r *rogueSystem) Submit(payload []byte, done func()) {
+	forged := make([]byte, len(payload))
+	PutMsgID(forged, MsgID(payload)+1000000)
+	r.sim.After(time.Microsecond, func() {
+		r.deliver(0, forged)
+		done()
+	})
+}
+
+func TestReplayOnceRejectsSafetyViolation(t *testing.T) {
+	build := func(sim *simnet.Sim, deliver func(int, []byte)) System {
+		return &rogueSystem{sim: sim, deliver: deliver}
+	}
+	_, err := ReplayOnce(build, 1, 1, replayCfg)
+	if err == nil {
+		t.Fatal("integrity violation not surfaced")
+	}
+	if !strings.Contains(err.Error(), "integrity") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestRunClosedLoopOnSubmitHook(t *testing.T) {
+	sim := simnet.New(1)
+	e := &echoSystem{sim: sim, replicas: 1, deliver: func(int, []byte) {}}
+	var ids []uint64
+	cfg := replayCfg
+	cfg.OnSubmit = func(id uint64) { ids = append(ids, id) }
+	res := RunClosedLoop(sim, e, cfg)
+	if len(ids) == 0 {
+		t.Fatal("OnSubmit never fired")
+	}
+	if len(ids) < res.Committed {
+		t.Fatalf("observed %d submissions but %d commits", len(ids), res.Committed)
+	}
+	for i, id := range ids {
+		if id != uint64(i+1) {
+			t.Fatalf("ids[%d] = %d, want %d", i, id, i+1)
+		}
+	}
+}

@@ -210,8 +210,12 @@ func TestUpToDateLeaderProperty(t *testing.T) {
 		}
 	}
 	sim.RunFor(20 * time.Millisecond)
+	rounds := 3
+	if testing.Short() {
+		rounds = 2
+	}
 	var id uint64
-	for round := 0; round < 3; round++ {
+	for round := 0; round < rounds; round++ {
 		for i := 0; i < 30; i++ {
 			id++
 			payload := make([]byte, 16)
@@ -329,8 +333,13 @@ func TestSlowFollowerCatchesUp(t *testing.T) {
 
 func TestCrashStormSafety(t *testing.T) {
 	// Repeatedly crash leaders (up to f of them) under continuous load
-	// across several seeds; safety must hold throughout.
-	for seed := int64(20); seed < 24; seed++ {
+	// across several seeds; safety must hold throughout. One seed under
+	// -short keeps the race-enabled CI lane fast; full runs sweep four.
+	lastSeed := int64(24)
+	if testing.Short() {
+		lastSeed = 21
+	}
+	for seed := int64(20); seed < lastSeed; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			sim, c, chk := newTestCluster(t, 5, seed)
@@ -475,8 +484,12 @@ func TestNoDuplicateDeliveryAcrossFailover(t *testing.T) {
 	// the diff path heavily with repeated elections over the same log.
 	sim, c, chk := newTestCluster(t, 5, 14)
 	sim.RunFor(20 * time.Millisecond)
+	rounds := 4
+	if testing.Short() {
+		rounds = 2
+	}
 	var id uint64
-	for round := 0; round < 4; round++ {
+	for round := 0; round < rounds; round++ {
 		for i := 0; i < 25; i++ {
 			id++
 			payload := make([]byte, 16)

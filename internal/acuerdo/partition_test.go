@@ -166,8 +166,12 @@ func TestRepeatedSuspicionStormsSafety(t *testing.T) {
 	// group may churn epochs, but safety must hold and progress resume.
 	sim, c, chk := newTestCluster(t, 5, 33)
 	sim.RunFor(20 * time.Millisecond)
+	storms := 8
+	if testing.Short() {
+		storms = 3
+	}
 	var id uint64
-	for storm := 0; storm < 8; storm++ {
+	for storm := 0; storm < storms; storm++ {
 		for i := 0; i < 15; i++ {
 			id++
 			p := make([]byte, 16)
@@ -225,7 +229,12 @@ func TestDeterministicReplay(t *testing.T) {
 
 func TestMinorityCrashLiveness(t *testing.T) {
 	// With n=2f+1, any f crashes (leader or followers) leave a live group.
-	for _, n := range []int{3, 5, 7} {
+	// The n=7 case dominates the runtime; full runs cover it, -short skips.
+	sizes := []int{3, 5, 7}
+	if testing.Short() {
+		sizes = []int{3, 5}
+	}
+	for _, n := range sizes {
 		n := n
 		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
 			sim, c, chk := newTestCluster(t, n, int64(40+n))

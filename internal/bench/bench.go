@@ -67,7 +67,22 @@ type Options struct {
 
 // NewInstance builds, starts, and warms up (leader elected) one system.
 func NewInstance(kind Kind, n int, seed int64, opt Options) *Instance {
-	sim := simnet.New(seed)
+	inst := NewInstanceOn(simnet.New(seed), kind, n, opt)
+	sim := inst.Sim
+	// Warm up until a leader serves.
+	for i := 0; i < 400 && !inst.Sys.Ready(); i++ {
+		sim.RunFor(5 * time.Millisecond)
+	}
+	if !inst.Sys.Ready() {
+		panic(fmt.Sprintf("bench: %s/%d never became ready", kind, n))
+	}
+	return inst
+}
+
+// NewInstanceOn builds and starts one system on an existing simulator without
+// warming it up. The seed-replay harness uses this to construct the same
+// system twice on two identically seeded simulators.
+func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 	inst := &Instance{Sim: sim, N: n}
 	switch kind {
 	case Acuerdo:
@@ -143,13 +158,6 @@ func NewInstance(kind Kind, n int, seed int64, opt Options) *Instance {
 		}
 	default:
 		panic("bench: unknown system " + string(kind))
-	}
-	// Warm up until a leader serves.
-	for i := 0; i < 400 && !inst.Sys.Ready(); i++ {
-		sim.RunFor(5 * time.Millisecond)
-	}
-	if !inst.Sys.Ready() {
-		panic(fmt.Sprintf("bench: %s/%d never became ready", kind, n))
 	}
 	return inst
 }

@@ -82,6 +82,9 @@ func TestShapeAcuerdoSmallMsgBandwidth2xDerecho(t *testing.T) {
 func TestElectionBenchProducesDurations(t *testing.T) {
 	cfg := DefaultElection(3)
 	cfg.Rounds = 4
+	if testing.Short() {
+		cfg.Rounds = 2
+	}
 	res := ElectionBench(cfg)
 	if len(res.Durations) < 2 {
 		t.Fatalf("only %d elections measured", len(res.Durations))

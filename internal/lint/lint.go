@@ -1,0 +1,168 @@
+// Package lint implements the determinism lint suite that guards the
+// simulation's core invariant: two runs with the same seed execute the same
+// events and report identical latencies (see internal/simnet). Three
+// analyzers enforce the discipline statically:
+//
+//   - nowallclock: protocol and fabric code must use the simnet clock and the
+//     Sim's seeded RNG, never the wall clock (time.Now, time.Sleep, ...) or
+//     the global math/rand source.
+//   - maporder: Go's map iteration order is randomized per run; ranging over
+//     a map with protocol side effects in the loop body (sending, mutating
+//     replica state, selecting a winner) silently breaks seed-replay unless
+//     the keys are sorted first.
+//   - simproc: concurrency in simulation-driven packages must go through
+//     simnet.Proc; raw goroutines and real-time timer channels race against
+//     the virtual clock.
+//
+// The API mirrors golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic)
+// so the passes could be lifted onto the real driver if the dependency ever
+// becomes available; the container this repository builds in has no network,
+// so the framework is implemented here on the standard library alone.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one lint pass, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and //lint:ignore comments.
+	Name string
+	// Doc is the one-paragraph rule description shown by the driver.
+	Doc string
+	// Run executes the pass, reporting findings through pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{NoWallClock, MapOrder, SimProc}
+}
+
+// InScope reports whether the determinism analyzers apply to the package with
+// the given import path. The suite covers every simulation-driven package in
+// the module — protocols, fabrics, harnesses — but not the lint tooling
+// itself, the command-line front-ends, or the examples.
+func InScope(pkgPath string) bool {
+	if !strings.HasPrefix(pkgPath, "acuerdo/internal/") {
+		return false
+	}
+	return !strings.HasPrefix(pkgPath, "acuerdo/internal/lint")
+}
+
+// RunAnalyzers runs each analyzer over pkg and returns the surviving
+// diagnostics in position order. A finding is suppressed when its line (or
+// the line above it) carries a "//lint:ignore <name> <reason>" comment naming
+// the analyzer.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, az := range analyzers {
+		pass := &Pass{
+			Analyzer:  az,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := az.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", az.Name, pkg.PkgPath, err)
+		}
+	}
+	diags = suppress(pkg, diags)
+	// Nested map ranges can attribute one offending statement to both loops;
+	// keep a single copy of identical findings.
+	seen := map[Diagnostic]bool{}
+	uniq := diags[:0]
+	for _, d := range diags {
+		if !seen[d] {
+			seen[d] = true
+			uniq = append(uniq, d)
+		}
+	}
+	diags = uniq
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// suppress drops diagnostics overridden by //lint:ignore comments.
+func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// ignores maps file -> line -> analyzer names ignored on that line.
+	ignores := map[string]map[int][]string{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := ignores[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					ignores[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], fields[1])
+			}
+		}
+	}
+	if len(ignores) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		suppressed := false
+		// An ignore comment applies to its own line (trailing comment) and
+		// to the line directly below it (preceding comment).
+		for _, line := range []int{pos.Line, pos.Line - 1} {
+			for _, name := range ignores[pos.Filename][line] {
+				if name == d.Analyzer || name == "*" {
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

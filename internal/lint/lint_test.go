@@ -1,0 +1,89 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"acuerdo/internal/lint"
+	"acuerdo/internal/lint/linttest"
+)
+
+// TestIgnoreComments verifies that //lint:ignore waives a finding on the same
+// line or the line below, and that unwaived findings survive (the fixture's
+// want comment covers the surviving one).
+func TestIgnoreComments(t *testing.T) {
+	linttest.Run(t, linttest.Testdata(t, "."), lint.NoWallClock, "ignore")
+}
+
+// TestInScope pins the analyzer scope: every simulation-driven internal
+// package is covered, the lint tooling and external-looking paths are not.
+func TestInScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"acuerdo/internal/zab":           true,
+		"acuerdo/internal/simnet":        true,
+		"acuerdo/internal/rdma":          true,
+		"acuerdo/internal/abcast":        true,
+		"acuerdo/internal/lint":          false,
+		"acuerdo/internal/lint/linttest": false,
+		"acuerdo/cmd/acuerdo-sim":        false,
+		"fmt":                            false,
+	} {
+		if got := lint.InScope(path); got != want {
+			t.Errorf("InScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestLoadModulePackage loads a real module package through the go-list-based
+// loader and checks that syntax and type information came back usable.
+func TestLoadModulePackage(t *testing.T) {
+	loader := lint.NewLoader(".")
+	pkgs, err := loader.Load("acuerdo/internal/simnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.PkgPath != "acuerdo/internal/simnet" || pkg.Name != "simnet" {
+		t.Fatalf("loaded %s (package %s)", pkg.PkgPath, pkg.Name)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", pkg.TypeErrors)
+	}
+	if len(pkg.Syntax) == 0 || pkg.Types == nil || pkg.TypesInfo == nil {
+		t.Fatal("missing syntax or type information")
+	}
+	// The suite must run cleanly over the package it protects.
+	diags, err := lint.RunAnalyzers(pkg, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding in simnet: %s: %s (%s)",
+			pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}
+
+// TestAnalyzerMetadata keeps the suite's registry stable: three analyzers,
+// documented, uniquely named.
+func TestAnalyzerMetadata(t *testing.T) {
+	all := lint.All()
+	if len(all) != 3 {
+		t.Fatalf("All() returned %d analyzers, want 3", len(all))
+	}
+	seen := map[string]bool{}
+	for _, az := range all {
+		if az.Name == "" || az.Doc == "" || az.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", az)
+		}
+		if seen[az.Name] {
+			t.Errorf("duplicate analyzer name %q", az.Name)
+		}
+		seen[az.Name] = true
+		if strings.ToLower(az.Name) != az.Name {
+			t.Errorf("analyzer name %q should be lowercase", az.Name)
+		}
+	}
+}

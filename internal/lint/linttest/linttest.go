@@ -1,0 +1,116 @@
+// Package linttest is an analysistest-style fixture runner for the
+// determinism lint suite. A fixture is a package under testdata/src/<name>
+// whose offending lines carry `// want "regexp"` comments; Run loads and
+// type-checks the fixture, runs one analyzer, and fails the test on any
+// unmatched diagnostic or unsatisfied expectation — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, reimplemented on the standard
+// library because the container has no network access.
+package linttest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"acuerdo/internal/lint"
+)
+
+// wantRe extracts the quoted or backquoted expectation patterns from a
+// `// want` comment. Several patterns on one line mean several diagnostics
+// are expected there.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads each named fixture package from testdata/src/<pkg>, applies az,
+// and checks the diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, az *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := lint.NewLoader(testdata)
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		pkg, err := loader.LoadDir(name, dir)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", name, err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", name, terr)
+		}
+		diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{az})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", az.Name, name, err)
+		}
+		checkExpectations(t, pkg, az, diags)
+	}
+}
+
+// expectation is one `// want` pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+func checkExpectations(t *testing.T, pkg *lint.Package, az *lint.Analyzer, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+					raw := m[1]
+					if raw == "" {
+						raw = strings.ReplaceAll(m[2], `\"`, `"`)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line that
+// matches its message.
+func claim(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Testdata returns the canonical testdata directory next to the caller's
+// package directory, erroring if it does not exist — mirroring
+// analysistest.TestData.
+func Testdata(t *testing.T, pkgDir string) string {
+	t.Helper()
+	td, err := filepath.Abs(filepath.Join(pkgDir, "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return td
+}

@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package, the unit the
+// analyzers operate on. It mirrors the slice of golang.org/x/tools/go/packages
+// that the analysis framework needs.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// TypeErrors holds type-checking problems in this package. Analyzers
+	// still run on packages with errors (best effort), but the driver
+	// reports them.
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+}
+
+// Loader parses and type-checks packages without golang.org/x/tools: package
+// graphs come from `go list -deps -json` (which emits dependencies before
+// dependents), and everything — the standard library included — is
+// type-checked from source with go/types. Dependency bodies are skipped
+// (IgnoreFuncBodies), so a whole-module load stays fast.
+type Loader struct {
+	// Dir is the directory `go list` runs in; it must be inside the module
+	// for relative patterns like ./... to resolve.
+	Dir string
+
+	fset      *token.FileSet
+	typed     map[string]*types.Package // import path -> checked package
+	importMap map[string]string         // source import path -> resolved (vendored stdlib)
+}
+
+// NewLoader returns a Loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:       dir,
+		fset:      token.NewFileSet(),
+		typed:     map[string]*types.Package{},
+		importMap: map[string]string{},
+	}
+}
+
+// Load type-checks the packages matching patterns (plus their dependencies)
+// and returns the matched packages with full syntax and type information.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	roots, err := l.goList(false, patterns)
+	if err != nil {
+		return nil, err
+	}
+	rootSet := map[string]bool{}
+	for _, p := range roots {
+		rootSet[p.ImportPath] = true
+	}
+	deps, err := l.goList(true, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, lp := range deps {
+		pkg, err := l.checkListed(lp, rootSet[lp.ImportPath])
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil && rootSet[lp.ImportPath] {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// goList runs `go list -json`, with -deps when deps is set, and decodes the
+// package stream. CGO is disabled so every listed file is plain Go.
+func (l *Loader) goList(deps bool, patterns []string) ([]*listPkg, error) {
+	args := []string{"list", "-e", "-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Standard"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v: %s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		for from, to := range lp.ImportMap {
+			l.importMap[from] = to
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// checkListed type-checks one listed package, memoizing by import path.
+// Returns (nil, nil) for pseudo-packages with nothing to check.
+func (l *Loader) checkListed(lp *listPkg, isRoot bool) (*Package, error) {
+	if lp.ImportPath == "unsafe" {
+		l.typed["unsafe"] = types.Unsafe
+		return nil, nil
+	}
+	if _, done := l.typed[lp.ImportPath]; done && !isRoot {
+		return nil, nil
+	}
+	if len(lp.GoFiles) == 0 {
+		return nil, nil
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{
+		PkgPath: lp.ImportPath,
+		Name:    lp.Name,
+		Dir:     lp.Dir,
+		Fset:    l.fset,
+	}
+	var info *types.Info
+	if isRoot {
+		info = newTypesInfo()
+	}
+	tpkg, errs := l.check(lp.ImportPath, files, !isRoot, info)
+	l.typed[lp.ImportPath] = tpkg
+	pkg.Syntax = files
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	pkg.TypeErrors = errs
+	return pkg, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// check runs go/types over files. Type errors are collected, not fatal:
+// dependencies of the standard library occasionally exercise compiler
+// intrinsics, and a best-effort package is still useful to analyzers.
+func (l *Loader) check(path string, files []*ast.File, skipBodies bool, info *types.Info) (*types.Package, []error) {
+	var errs []error
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: skipBodies,
+		FakeImportC:      true,
+		Error:            func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	return tpkg, errs
+}
+
+// Import implements types.Importer against the loader's cache, lazily
+// type-checking standard-library chains that have not been seen yet (the
+// fixture path: testdata packages import stdlib that no earlier Load pulled
+// in).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if to, ok := l.importMap[path]; ok {
+		path = to
+	}
+	if pkg, ok := l.typed[path]; ok {
+		return pkg, nil
+	}
+	if err := l.loadChain(path); err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.typed[path]; ok {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("lint: import %q not resolved", path)
+}
+
+// loadChain lists path with its dependencies and type-checks whatever is
+// missing from the cache, in dependency order.
+func (l *Loader) loadChain(path string) error {
+	deps, err := l.goList(true, []string{path})
+	if err != nil {
+		return err
+	}
+	for _, lp := range deps {
+		if _, done := l.typed[lp.ImportPath]; done {
+			continue
+		}
+		if _, err := l.checkListed(lp, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir parses and type-checks the .go files in dir as the package pkgPath
+// with full bodies and type information. Imports resolve against the standard
+// library (loaded on demand); this is the entry point the analysistest-style
+// fixture runner uses.
+func (l *Loader) LoadDir(pkgPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := newTypesInfo()
+	tpkg, errs := l.check(pkgPath, files, false, info)
+	pkg := &Package{
+		PkgPath:    pkgPath,
+		Name:       files[0].Name.Name,
+		Dir:        dir,
+		Fset:       l.fset,
+		Syntax:     files,
+		Types:      tpkg,
+		TypesInfo:  info,
+		TypeErrors: errs,
+	}
+	return pkg, nil
+}
+
+var _ types.Importer = (*Loader)(nil)

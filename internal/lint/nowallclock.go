@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoWallClock forbids wall-clock time and the global math/rand source in
+// simulation-driven packages. All protocol and fabric code must take time
+// from simnet.Sim.Now/After/At and randomness from simnet.Sim.Rand — the
+// seeded generator — or seed-replay silently diverges: a latency sampled from
+// the global source differs between two same-seed runs, and a time.Now
+// reading leaks host scheduling into simulated decisions.
+//
+// Deterministic uses of the packages stay legal: time.Duration arithmetic and
+// the unit constants, and constructing private generators with
+// rand.New(rand.NewSource(seed)).
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid time.Now/Sleep/After/Tick and global math/rand functions in " +
+		"simulation-driven packages; use the simnet clock and Sim.Rand instead",
+	Run: runNoWallClock,
+}
+
+// bannedWallClock maps package path -> function names whose use breaks
+// seed-determinism. Referencing the function at all (even to store it in a
+// variable) is flagged, not just calling it.
+var bannedWallClock = map[string]map[string]bool{
+	"time": setOf("Now", "Since", "Until", "Sleep", "After", "Tick",
+		"AfterFunc", "NewTimer", "NewTicker"),
+	// Package-level math/rand functions draw from the shared, racily seeded
+	// global source. rand.New/NewSource/NewZipf are deliberately absent:
+	// explicitly seeded private generators are the sanctioned idiom.
+	"math/rand": setOf("Int", "Intn", "Int31", "Int31n", "Int63", "Int63n",
+		"Uint32", "Uint64", "Float32", "Float64", "ExpFloat64", "NormFloat64",
+		"Perm", "Shuffle", "Seed", "Read"),
+	"math/rand/v2": setOf("Int", "IntN", "Int32", "Int32N", "Int64", "Int64N",
+		"Uint", "UintN", "Uint32", "Uint32N", "Uint64", "Uint64N", "N",
+		"Float32", "Float64", "ExpFloat64", "NormFloat64", "Perm", "Shuffle"),
+}
+
+func setOf(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func runNoWallClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Methods share Pkg/Name with the package-level functions
+			// (rng.Int63n vs rand.Int63n); explicitly seeded generators are
+			// the sanctioned idiom, so only package-level references count.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			banned, ok := bannedWallClock[fn.Pkg().Path()]
+			if !ok || !banned[fn.Name()] {
+				return true
+			}
+			what := "wall-clock time"
+			hint := "use the simnet clock (Sim.Now/Sim.After/Sim.At)"
+			if fn.Pkg().Path() != "time" {
+				what = "globally seeded randomness"
+				hint = "use the simulation's seeded generator (Sim.Rand)"
+			}
+			pass.Reportf(id.Pos(), "%s.%s is %s, which breaks seed-replay determinism; %s",
+				fn.Pkg().Name(), fn.Name(), what, hint)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimProc forbids raw goroutines and real-time timer channels in
+// simulation-driven packages. The simulation is single-threaded by design —
+// that is what makes it deterministic — so concurrency must be modeled
+// through simnet.Proc (simulated CPUs with descheduling and crash/recover)
+// and time must flow through the event heap. A `go` statement introduces host
+// scheduling into the event order, and a *time.Timer or *time.Ticker channel
+// delivers wall-clock ticks that race the virtual clock.
+var SimProc = &Analyzer{
+	Name: "simproc",
+	Doc: "forbid go statements and real-time timer channels in " +
+		"simulation-driven packages; model concurrency with simnet.Proc",
+	Run: runSimProc,
+}
+
+func runSimProc(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(st.Pos(), "go statement introduces host scheduling into the simulation; run code on a simnet.Proc instead")
+			case *ast.UnaryExpr:
+				// Receives from wall-clock time channels (<-timer.C,
+				// <-time.After(...)) block on host time.
+				if st.Op.String() == "<-" && isTimeChan(pass, st.X) {
+					pass.Reportf(st.Pos(), "receive from a real-time channel blocks on the wall clock; schedule with Sim.After/Sim.At instead")
+				}
+			case *ast.Ident:
+				// Flag declarations (variables, fields, parameters) of
+				// real-time timer types; uses of the same variable are not
+				// re-reported.
+				obj := pass.TypesInfo.Defs[st]
+				if v, ok := obj.(*types.Var); ok && isTimerType(v.Type()) {
+					pass.Reportf(st.Pos(), "%s declares a real-time %s, which fires on the wall clock; schedule with Sim.After/Sim.At instead",
+						st.Name, typeShort(v.Type()))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTimerType reports whether t is time.Timer / time.Ticker, possibly behind
+// a pointer.
+func isTimerType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return false
+	}
+	return obj.Name() == "Timer" || obj.Name() == "Ticker"
+}
+
+// isTimeChan reports whether expr has type <-chan time.Time (the shape of
+// timer channels).
+func isTimeChan(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok {
+		return false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	named, ok := ch.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Time"
+}
+
+func typeShort(t types.Type) string {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return "time." + named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,13 @@
+// Package ignore exercises //lint:ignore suppression: the first finding is
+// waived with a trailing comment, the second with a preceding comment, and
+// the third survives.
+package ignore
+
+import "time"
+
+func waived() {
+	time.Sleep(time.Millisecond) //lint:ignore nowallclock exercising suppression
+	//lint:ignore nowallclock exercising preceding-line suppression
+	time.Sleep(time.Millisecond)
+	_ = time.Now // want `time.Now is wall-clock time`
+}

@@ -1,0 +1,37 @@
+// Package simproc is the fixture for the simproc analyzer: raw goroutines
+// and real-time timer plumbing are flagged; plain function values and
+// deterministic callback scheduling are not.
+package simproc
+
+import "time"
+
+type replica struct {
+	heartbeat *time.Ticker // want `heartbeat declares a real-time time.Ticker`
+}
+
+// A goroutine races the single-threaded event loop.
+func badGo(step func()) {
+	go step() // want `go statement introduces host scheduling`
+}
+
+// Timer and ticker values fire on the wall clock, not the virtual one.
+func badTimers(c <-chan time.Time) {
+	var t *time.Timer // want `t declares a real-time time.Timer`
+	_ = t
+	<-c // want `receive from a real-time channel blocks on the wall clock`
+}
+
+func badTickerLoop(tick time.Ticker) { // want `tick declares a real-time time.Ticker`
+	<-tick.C // want `receive from a real-time channel blocks on the wall clock`
+}
+
+// Deterministic alternatives: storing callbacks and invoking them inline is
+// exactly what simnet.Proc and the event heap do.
+func goodCallbacks(fns []func()) {
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// Channels of other element types are not timer channels.
+func goodChan(c chan int) int { return <-c }

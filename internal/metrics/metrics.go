@@ -77,6 +77,17 @@ func (h *Histogram) Max() time.Duration {
 	return h.samples[len(h.samples)-1]
 }
 
+// Samples returns a copy of the recorded samples: in insertion order until an
+// order statistic (Percentile/Min/Max) has been computed, sorted afterwards.
+// The seed-replay harness compares these byte-for-byte between same-seed
+// runs: identical event execution must produce identical latency sequences,
+// not just identical aggregates.
+func (h *Histogram) Samples() []time.Duration {
+	out := make([]time.Duration, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
 // Reset discards all samples.
 func (h *Histogram) Reset() {
 	h.samples = h.samples[:0]
