@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"acuerdo/internal/bench"
+	"acuerdo/internal/trace"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 	measure := flag.Duration("measure", 20*time.Millisecond, "simulated measurement interval per load point")
 	warmup := flag.Duration("warmup", 4*time.Millisecond, "simulated warmup per load point")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the last load point to this file (also enables the latency-decomposition and layer-counter reports)")
 	flag.Parse()
 
 	kinds := bench.AllKinds
@@ -64,6 +66,7 @@ func main() {
 		{3, 10}: "Figure 8a", {3, 1000}: "Figure 8b",
 		{7, 10}: "Figure 8c", {7, 1000}: "Figure 8d",
 	}
+	var lastTrace *trace.Tracer
 	for _, n := range nodeCounts {
 		for _, sz := range sizes {
 			cfg := bench.DefaultFig8(n, sz)
@@ -73,13 +76,40 @@ func main() {
 			if ws != nil {
 				cfg.Windows = ws
 			}
+			if *traceOut != "" {
+				cfg.TraceEvents = trace.DefaultRing
+			}
 			title := sub[[2]int{n, sz}]
 			if title == "" {
 				title = "Figure 8 (custom)"
 			}
 			results := bench.Figure8(cfg, kinds)
 			bench.PrintFigure8(os.Stdout, title, cfg, results, kinds)
+			if *traceOut != "" {
+				bench.PrintLayerReport(os.Stdout, results, kinds)
+				for _, k := range kinds {
+					if rs := results[k]; len(rs) > 0 && rs[len(rs)-1].Trace != nil {
+						lastTrace = rs[len(rs)-1].Trace
+					}
+				}
+			}
 			fmt.Println()
 		}
+	}
+	if *traceOut != "" && lastTrace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := lastTrace.WriteChrome(f); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace of the last load point to %s (open in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 }

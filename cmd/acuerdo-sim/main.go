@@ -11,12 +11,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"acuerdo/internal/abcast"
 	"acuerdo/internal/acuerdo"
 	"acuerdo/internal/rdma"
 	"acuerdo/internal/simnet"
+	"acuerdo/internal/trace"
 )
 
 func main() {
@@ -24,9 +26,15 @@ func main() {
 	msgs := flag.Int("msgs", 20, "messages to broadcast")
 	kill := flag.Bool("kill-leader", false, "crash the leader halfway through")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 	flag.Parse()
 
 	sim := simnet.New(*seed)
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		tr = trace.New(trace.DefaultRing)
+		sim.SetTracer(tr)
+	}
 	fabric := rdma.NewFabric(sim, rdma.DefaultParams())
 	c := acuerdo.NewCluster(sim, fabric, acuerdo.DefaultClusterConfig(*nodes))
 
@@ -73,5 +81,24 @@ func main() {
 		st := r.Stats
 		fmt.Printf("node %d: role=%v delivered=%d accepted=%d broadcasts=%d elections=%d\n",
 			i, r.Role(), st.Delivered, st.Accepted, st.Broadcasts, st.Elections)
+	}
+	if tr != nil {
+		fmt.Println()
+		fmt.Println("layer counters:")
+		tr.WriteCounters(os.Stdout)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 }

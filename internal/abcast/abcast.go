@@ -11,6 +11,7 @@ import (
 
 	"acuerdo/internal/metrics"
 	"acuerdo/internal/simnet"
+	"acuerdo/internal/trace"
 )
 
 // System is the uniform interface over Acuerdo and all baselines
@@ -181,6 +182,12 @@ type LoadResult struct {
 	Elapsed    time.Duration
 	MBPerSec   float64
 	MsgsPerSec float64
+
+	// Decomp attributes the measured latency to pipeline stages; it is
+	// populated only when a trace.Tracer was installed on the Sim.
+	Decomp *trace.Decomposition
+	// Trace is the tracer that observed the run, if any.
+	Trace *trace.Tracer
 }
 
 // RunClosedLoop drives sys with cfg.Window outstanding messages: every
@@ -198,6 +205,7 @@ func RunClosedLoop(sim *simnet.Sim, sys System, cfg LoadConfig) LoadResult {
 		start, end simnet.Time
 	)
 
+	tr := sim.Tracer()
 	var submit func()
 	submit = func() {
 		if !sys.Ready() {
@@ -211,10 +219,21 @@ func RunClosedLoop(sim *simnet.Sim, sys System, cfg LoadConfig) LoadResult {
 			cfg.OnSubmit(nextID)
 		}
 		sent := sim.Now()
+		id := nextID
+		if tr != nil {
+			tr.Instant(trace.KSubmit, -1, int64(sent), int64(id), 0)
+			tr.Add(trace.CtrSubmits, 1)
+		}
 		sys.Submit(payload, func() {
 			if measuring {
 				res.Latency.Add(sim.Now().Sub(sent))
 				res.Committed++
+				if tr != nil {
+					// Emit the ack marker only for measured messages, so the
+					// decomposition covers exactly the histogram's sample set.
+					tr.Instant(trace.KAck, -1, int64(sim.Now()), int64(id), 0)
+					tr.Add(trace.CtrAcks, 1)
+				}
 			}
 			submit()
 		})
@@ -233,5 +252,10 @@ func RunClosedLoop(sim *simnet.Sim, sys System, cfg LoadConfig) LoadResult {
 	res.Elapsed = end.Sub(start)
 	res.MBPerSec = metrics.MBPerSec(res.Committed*cfg.MsgSize, res.Elapsed)
 	res.MsgsPerSec = metrics.Throughput(res.Committed, res.Elapsed)
+	if tr != nil {
+		d := tr.Decompose()
+		res.Decomp = &d
+		res.Trace = tr
+	}
 	return res
 }

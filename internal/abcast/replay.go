@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"acuerdo/internal/simnet"
+	"acuerdo/internal/trace"
 )
 
 // SystemBuilder constructs a system on sim, wiring deliver to run for every
@@ -33,6 +34,11 @@ type ReplayRun struct {
 	Result LoadResult
 	// Delivered is each replica's delivery sequence, in delivery order.
 	Delivered [][]uint64
+	// TraceFP and TraceEvents summarize the full structured-event stream
+	// (trace.Tracer's streaming fingerprint): two same-seed runs must emit
+	// identical events in identical order, not just identical deliveries.
+	TraceFP     uint64
+	TraceEvents uint64
 }
 
 // replayReadyPolls bounds the pre-load warmup that waits for leader election,
@@ -46,6 +52,10 @@ const replayReadyPolls = 400
 // producing a comparable-but-wrong fingerprint.
 func ReplayOnce(build SystemBuilder, replicas int, seed int64, cfg LoadConfig) (*ReplayRun, error) {
 	sim := simnet.New(seed)
+	// A small tracer ring suffices: the fingerprint streams over every
+	// emitted event regardless of ring overwrites.
+	tr := trace.New(1024)
+	sim.SetTracer(tr)
 	checker := NewChecker(replicas)
 	var deliverErr error
 	sys := build(sim, func(replica int, payload []byte) {
@@ -67,7 +77,7 @@ func ReplayOnce(build SystemBuilder, replicas int, seed int64, cfg LoadConfig) (
 	if err := checker.CheckTotalOrder(); err != nil {
 		return nil, fmt.Errorf("replay: %s: %w", sys.Name(), err)
 	}
-	run := &ReplayRun{Result: res}
+	run := &ReplayRun{Result: res, TraceFP: tr.Fingerprint(), TraceEvents: tr.Emitted()}
 	for node := 0; node < replicas; node++ {
 		seq := checker.Delivered(node)
 		run.Delivered = append(run.Delivered, append([]uint64(nil), seq...))
@@ -99,6 +109,8 @@ func (r *ReplayRun) Fingerprint() []byte {
 	}
 	put(uint64(r.Result.Committed))
 	put(uint64(r.Result.Elapsed))
+	put(r.TraceFP)
+	put(r.TraceEvents)
 	return buf.Bytes()
 }
 
@@ -159,6 +171,14 @@ func diffRuns(a, b *ReplayRun, i int) error {
 	if a.Result.Committed != b.Result.Committed || a.Result.Elapsed != b.Result.Elapsed {
 		return fmt.Errorf("replay diverged: run 0 committed %d in %v, run %d committed %d in %v",
 			a.Result.Committed, a.Result.Elapsed, i, b.Result.Committed, b.Result.Elapsed)
+	}
+	if a.TraceEvents != b.TraceEvents {
+		return fmt.Errorf("replay diverged: run 0 emitted %d trace events, run %d emitted %d",
+			a.TraceEvents, i, b.TraceEvents)
+	}
+	if a.TraceFP != b.TraceFP {
+		return fmt.Errorf("replay diverged: trace fingerprint %016x in run 0 but %016x in run %d — same deliveries, different event stream (timing or scheduling drift)",
+			a.TraceFP, b.TraceFP, i)
 	}
 	if !bytes.Equal(a.Fingerprint(), b.Fingerprint()) {
 		return fmt.Errorf("replay diverged: fingerprints differ between run 0 and run %d", i)

@@ -7,6 +7,7 @@ import (
 	"acuerdo/internal/ringbuf"
 	"acuerdo/internal/simnet"
 	"acuerdo/internal/sst"
+	"acuerdo/internal/trace"
 )
 
 // Role is a node's role within its current epoch (Figure 1).
@@ -253,6 +254,10 @@ func (r *Replica) drainRings() {
 					r.log.Insert(Entry{Hdr: hdr, Payload: payload})
 					r.accepted = hdr
 					r.Stats.Accepted++
+					if tr := r.Sim.Tracer(); tr != nil {
+						tr.Instant(trace.KAccept, r.Node.ID, int64(r.Sim.Now()), trace.ID(payload), int64(hdr.Cnt))
+						tr.Add(trace.CtrAccepts, 1)
+					}
 					changed = true
 					if r.Cfg.AckEveryMessage {
 						r.pushAccept()
@@ -339,6 +344,10 @@ func (r *Replica) Broadcast(payload []byte) bool {
 	r.acceptSST.Set(hdr)
 	r.Stats.Broadcasts++
 	r.Stats.Accepted++
+	if tr := r.Sim.Tracer(); tr != nil {
+		tr.Instant(trace.KPropose, r.Node.ID, int64(r.Sim.Now()), trace.ID(payload), int64(hdr.Cnt))
+		tr.Add(trace.CtrProposes, 1)
+	}
 	return true
 }
 
@@ -399,6 +408,16 @@ func (r *Replica) deliverEntry(e Entry) {
 	r.Node.Proc.Pause(r.Cfg.DeliverCost)
 	r.committed = e.Hdr
 	r.Stats.Delivered++
+	if tr := r.Sim.Tracer(); tr != nil {
+		now := int64(r.Sim.Now())
+		if r.role == Leader {
+			// The leader's commit decision is what unblocks the client ack.
+			tr.Instant(trace.KCommit, r.Node.ID, now, trace.ID(e.Payload), int64(e.Hdr.Cnt))
+			tr.Add(trace.CtrCommits, 1)
+		}
+		tr.Instant(trace.KDeliver, r.Node.ID, now, trace.ID(e.Payload), int64(e.Hdr.Cnt))
+		tr.Add(trace.CtrDelivers, 1)
+	}
 	if r.OnDeliver != nil {
 		r.OnDeliver(e.Hdr, e.Payload)
 	}
@@ -445,6 +464,10 @@ func (r *Replica) Suspect() {
 	r.role = Electing
 	r.SuspectedAt = r.Sim.Now()
 	r.Stats.Elections++
+	if tr := r.Sim.Tracer(); tr != nil {
+		tr.Instant(trace.KElectStart, r.Node.ID, int64(r.Sim.Now()), int64(r.eCur.Round), int64(r.eCur.Ldr))
+		tr.Add(trace.CtrElections, 1)
+	}
 	r.lastMaxVote = Vote{}
 	r.voteChangedAt = r.Sim.Now()
 	r.nextElection = r.Sim.Now() // first iteration runs immediately
@@ -541,6 +564,9 @@ func (r *Replica) becomeLeader() {
 	r.next = hdr
 	r.acceptSST.Set(hdr)
 	r.WonAt = r.Sim.Now()
+	if tr := r.Sim.Tracer(); tr != nil {
+		tr.Instant(trace.KElectWin, r.Node.ID, int64(r.WonAt), int64(r.eCur.Round), int64(r.eCur.Ldr))
+	}
 	if r.OnElected != nil {
 		r.OnElected(r.eCur)
 	}

@@ -20,6 +20,7 @@ import (
 	"acuerdo/internal/rdma"
 	"acuerdo/internal/ringbuf"
 	"acuerdo/internal/simnet"
+	"acuerdo/internal/trace"
 )
 
 // Config tunes the APUS baseline.
@@ -198,6 +199,10 @@ func (c *Cluster) sendBatch() {
 				panic("apus: log write failed: " + err.Error())
 			}
 		}
+		if tr := c.Sim.Tracer(); tr != nil {
+			tr.Instant(trace.KPropose, leader.ID, int64(c.Sim.Now()), trace.ID(payload), int64(idx))
+			tr.Add(trace.CtrProposes, 1)
+		}
 		c.batchEnd = idx
 	}
 }
@@ -208,6 +213,13 @@ func (c *Cluster) commitUpTo(end uint64) {
 	for c.delivered[0] < end {
 		c.delivered[0]++
 		payload := c.store[0][c.delivered[0]]
+		if tr := c.Sim.Tracer(); tr != nil {
+			now := int64(c.Sim.Now())
+			tr.Instant(trace.KCommit, c.nodes[0].ID, now, trace.ID(payload), int64(c.delivered[0]))
+			tr.Add(trace.CtrCommits, 1)
+			tr.Instant(trace.KDeliver, c.nodes[0].ID, now, trace.ID(payload), int64(c.delivered[0]))
+			tr.Add(trace.CtrDelivers, 1)
+		}
 		if c.OnDeliver != nil {
 			c.OnDeliver(0, c.delivered[0], payload)
 		}
@@ -249,6 +261,10 @@ func (c *Cluster) acceptorPoll(i int) {
 		c.store[i] = append(c.store[i], payload)
 		c.seen[i] = next
 		c.nodes[i].Proc.Pause(c.cfg.AcceptorCost)
+		if tr := c.Sim.Tracer(); tr != nil {
+			tr.Instant(trace.KAccept, c.nodes[i].ID, int64(c.Sim.Now()), trace.ID(payload), int64(next))
+			tr.Add(trace.CtrAccepts, 1)
+		}
 	}
 	if c.seen[i] > c.acked[i] {
 		c.acked[i] = c.seen[i]
@@ -262,6 +278,10 @@ func (c *Cluster) acceptorPoll(i int) {
 	commit := binary.LittleEndian.Uint64(c.commitMRs[i].Buf)
 	for c.delivered[i] < commit && c.delivered[i] < c.seen[i] {
 		c.delivered[i]++
+		if tr := c.Sim.Tracer(); tr != nil {
+			tr.Instant(trace.KDeliver, c.nodes[i].ID, int64(c.Sim.Now()), trace.ID(c.store[i][c.delivered[i]]), int64(c.delivered[i]))
+			tr.Add(trace.CtrDelivers, 1)
+		}
 		if c.OnDeliver != nil {
 			c.OnDeliver(i, c.delivered[i], c.store[i][c.delivered[i]])
 		}

@@ -19,6 +19,7 @@ import (
 	"acuerdo/internal/rdma"
 	"acuerdo/internal/simnet"
 	"acuerdo/internal/tcpnet"
+	"acuerdo/internal/trace"
 	"acuerdo/internal/zab"
 )
 
@@ -63,6 +64,10 @@ type Options struct {
 	Desched *simnet.DeschedConfig
 	// AcuerdoConfig overrides the replica config (ablations).
 	AcuerdoConfig *acuerdo.Config
+	// Tracer, when non-nil, is installed on the simulator before the system
+	// is built so that construction-time events (thread names, first
+	// elections) are captured too.
+	Tracer *trace.Tracer
 }
 
 // NewInstance builds, starts, and warms up (leader elected) one system.
@@ -83,6 +88,9 @@ func NewInstance(kind Kind, n int, seed int64, opt Options) *Instance {
 // warming it up. The seed-replay harness uses this to construct the same
 // system twice on two identically seeded simulators.
 func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
+	if opt.Tracer != nil {
+		sim.SetTracer(opt.Tracer)
+	}
 	inst := &Instance{Sim: sim, N: n}
 	switch kind {
 	case Acuerdo:
@@ -172,6 +180,10 @@ type Fig8Config struct {
 	Warmup  time.Duration
 	Measure time.Duration
 	Seed    int64
+	// TraceEvents, when > 0, installs a fresh tracer with that ring capacity
+	// on every load point, enabling the latency decomposition columns and
+	// Chrome-trace export of the last point.
+	TraceEvents int
 }
 
 // DefaultWindows is the paper's 2^0..2^N load ladder.
@@ -194,7 +206,11 @@ func DefaultFig8(nodes, msgSize int) Fig8Config {
 func SweepSystem(kind Kind, cfg Fig8Config) []abcast.LoadResult {
 	out := make([]abcast.LoadResult, 0, len(cfg.Windows))
 	for i, w := range cfg.Windows {
-		inst := NewInstance(kind, cfg.Nodes, cfg.Seed+int64(i), Options{})
+		var opt Options
+		if cfg.TraceEvents > 0 {
+			opt.Tracer = trace.New(cfg.TraceEvents)
+		}
+		inst := NewInstance(kind, cfg.Nodes, cfg.Seed+int64(i), opt)
 		res := abcast.RunClosedLoop(inst.Sim, inst.Sys, abcast.LoadConfig{
 			Window:  w,
 			MsgSize: cfg.MsgSize,
@@ -226,15 +242,71 @@ func PrintFigure8(w io.Writer, title string, cfg Fig8Config, results map[Kind][]
 	}
 	fmt.Fprintf(w, "%s (%d nodes, %dB messages; window %v)\n", title, cfg.Nodes, cfg.MsgSize, cfg.Windows)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "system\twindow\tthroughput(MB/s)\tthroughput(msg/s)\tlat-mean(us)\tlat-p50(us)\tlat-p99(us)\n")
+	fmt.Fprintf(tw, "system\twindow\tthroughput(MB/s)\tthroughput(msg/s)\tlat-mean(us)\tlat-p50(us)\tlat-p90(us)\tlat-p99(us)\tlat-max(us)\n")
 	for _, k := range kinds {
 		for _, r := range results[k] {
-			fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.0f\t%.1f\t%.1f\t%.1f\n",
+			s := r.Latency.Export()
+			fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.0f\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
 				r.System, r.Window, r.MBPerSec, r.MsgsPerSec,
-				us(r.Latency.Mean()), us(r.Latency.Percentile(50)), us(r.Latency.Percentile(99)))
+				us(s.Mean), us(s.P50), us(s.P90), us(s.P99), us(s.Max))
 		}
 	}
 	tw.Flush()
+	PrintDecomposition(w, results, kinds)
+}
+
+// PrintDecomposition renders the per-stage latency breakdown for every traced
+// load point (no-op when tracing was off).
+func PrintDecomposition(w io.Writer, results map[Kind][]abcast.LoadResult, kinds []Kind) {
+	if kinds == nil {
+		kinds = AllKinds
+	}
+	any := false
+	for _, k := range kinds {
+		for _, r := range results[k] {
+			if r.Decomp != nil && r.Decomp.Messages > 0 {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintln(w, "latency decomposition (submit->propose->accept->commit->ack, mean us per stage)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "system\twindow\tmsgs\tpost(us)\twire(us)\tproto(us)\tack(us)\ttotal(us)\n")
+	for _, k := range kinds {
+		for _, r := range results[k] {
+			d := r.Decomp
+			if d == nil || d.Messages == 0 {
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+				r.System, r.Window, d.Messages,
+				us(d.Post()), us(d.Wire()), us(d.Proto()), us(d.Ack()), us(d.Total()))
+		}
+	}
+	tw.Flush()
+}
+
+// PrintLayerReport renders the per-layer counters of each system's final
+// (highest-window) traced load point.
+func PrintLayerReport(w io.Writer, results map[Kind][]abcast.LoadResult, kinds []Kind) {
+	if kinds == nil {
+		kinds = AllKinds
+	}
+	for _, k := range kinds {
+		rs := results[k]
+		if len(rs) == 0 {
+			continue
+		}
+		last := rs[len(rs)-1]
+		if last.Trace == nil {
+			continue
+		}
+		fmt.Fprintf(w, "%s layer counters (window %d):\n", last.System, last.Window)
+		last.Trace.WriteCounters(w)
+	}
 }
 
 func us(d time.Duration) float64 { return float64(d) / 1e3 }

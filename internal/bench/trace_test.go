@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"acuerdo/internal/abcast"
+	"acuerdo/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// tracedRun drives a tiny 3-node Acuerdo instance with tracing on and
+// returns the tracer plus the measured load point.
+func tracedRun(t *testing.T, ring int) (*trace.Tracer, abcast.LoadResult) {
+	t.Helper()
+	tr := trace.New(ring)
+	inst := NewInstance(Acuerdo, 3, 1, Options{Tracer: tr})
+	res := abcast.RunClosedLoop(inst.Sim, inst.Sys, abcast.LoadConfig{
+		Window:  4,
+		MsgSize: 16,
+		Warmup:  500 * time.Microsecond,
+		Measure: 2 * time.Millisecond,
+	})
+	return tr, res
+}
+
+// TestDecompositionSumsToEndToEnd is the acceptance bar for the latency
+// report: the per-stage shares must sum to the measured end-to-end client
+// latency within 1% (integer-division rounding allows a few ns of slack).
+func TestDecompositionSumsToEndToEnd(t *testing.T) {
+	_, res := tracedRun(t, trace.DefaultRing)
+	d := res.Decomp
+	if d == nil || d.Messages == 0 {
+		t.Fatal("no decomposition from traced run")
+	}
+	if d.Partial != 0 {
+		t.Fatalf("%d acked messages missing markers", d.Partial)
+	}
+	sum := d.PostNS + d.WireNS + d.ProtoNS + d.AckNS
+	if sum != d.TotalNS {
+		t.Fatalf("segments sum to %d ns, total is %d ns", sum, d.TotalNS)
+	}
+	// The decomposition covers exactly the histogram's sample set, so the
+	// mean total must match the histogram mean up to rounding.
+	mean := res.Latency.Mean()
+	diff := d.Total() - mean
+	if diff < 0 {
+		diff = -diff
+	}
+	if tol := mean / 100; diff > tol {
+		t.Fatalf("decomposition total %v vs histogram mean %v (diff %v > 1%%)", d.Total(), mean, diff)
+	}
+	if d.Messages != res.Latency.N() {
+		t.Fatalf("decomposed %d messages, histogram has %d samples", d.Messages, res.Latency.N())
+	}
+}
+
+// TestTracedRunDeterminism re-runs the same traced workload and demands an
+// identical event stream, byte-identical Chrome export included.
+func TestTracedRunDeterminism(t *testing.T) {
+	tr1, _ := tracedRun(t, 1024)
+	tr2, _ := tracedRun(t, 1024)
+	if tr1.Fingerprint() != tr2.Fingerprint() || tr1.Emitted() != tr2.Emitted() {
+		t.Fatalf("traced runs diverged: %016x/%d vs %016x/%d",
+			tr1.Fingerprint(), tr1.Emitted(), tr2.Fingerprint(), tr2.Emitted())
+	}
+	var b1, b2 bytes.Buffer
+	if err := tr1.WriteChrome(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.WriteChrome(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("Chrome exports differ between same-seed runs")
+	}
+}
+
+// TestChromeGolden pins the exact Chrome-trace bytes of a tiny seeded run.
+// Any change to event emission sites, ordering, or formatting shows up as a
+// golden diff; regenerate deliberately with `go test ./internal/bench
+// -run TestChromeGolden -update`.
+func TestChromeGolden(t *testing.T) {
+	tr, _ := tracedRun(t, 256)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("export holds no events")
+	}
+
+	golden := filepath.Join("testdata", "acuerdo_trace_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome trace differs from golden (%d vs %d bytes); regenerate with -update if the change is intended",
+			buf.Len(), len(want))
+	}
+}

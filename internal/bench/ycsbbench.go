@@ -111,10 +111,12 @@ func Figure9(counts []int, seed int64) map[Kind][]YCSBResult {
 func PrintFigure9(w io.Writer, results map[Kind][]YCSBResult) {
 	fmt.Fprintln(w, "Figure 9: YCSB-load throughput (ops/sec) vs node count")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "system\tnodes\tops/sec\tlat-mean(us)\n")
+	fmt.Fprintf(tw, "system\tnodes\tops/sec\tlat-mean(us)\tlat-p50(us)\tlat-p99(us)\n")
 	for _, k := range YCSBSystems {
 		for _, r := range results[k] {
-			fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.1f\n", r.System, r.Nodes, r.OpsPerSec, us(r.Latency.Mean()))
+			s := r.Latency.Export()
+			fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.1f\t%.1f\t%.1f\n",
+				r.System, r.Nodes, r.OpsPerSec, us(s.Mean), us(s.P50), us(s.P99))
 		}
 	}
 	tw.Flush()

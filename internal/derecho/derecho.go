@@ -31,6 +31,7 @@ import (
 	"acuerdo/internal/ringbuf"
 	"acuerdo/internal/simnet"
 	"acuerdo/internal/sst"
+	"acuerdo/internal/trace"
 )
 
 // Mode selects the sender policy.
@@ -306,6 +307,12 @@ func (nd *node) multicast(kind byte, payload []byte) bool {
 	nd.recv[nd.id] = nd.mySent
 	// Local copy for self-delivery.
 	nd.pend[nd.id] = append(nd.pend[nd.id], pmsg{idx: nd.mySent, kind: kind, payload: append([]byte(nil), payload...)})
+	if kind == kData {
+		if tr := nd.g.Sim.Tracer(); tr != nil {
+			tr.Instant(trace.KPropose, nd.rn.ID, int64(nd.g.Sim.Now()), trace.ID(payload), int64(nd.mySent))
+			tr.Add(trace.CtrProposes, 1)
+		}
+	}
 	return true
 }
 
@@ -375,6 +382,10 @@ func (nd *node) drain() {
 			pm := pmsg{idx: nd.recv[s], kind: kind}
 			if kind == kData {
 				pm.payload = append([]byte(nil), payload...)
+				if tr := nd.g.Sim.Tracer(); tr != nil {
+					tr.Instant(trace.KAccept, nd.rn.ID, int64(nd.g.Sim.Now()), trace.ID(payload), int64(pm.idx))
+					tr.Add(trace.CtrAccepts, 1)
+				}
 			}
 			nd.pend[s] = append(nd.pend[s], pm)
 		}
@@ -431,6 +442,16 @@ func (nd *node) deliver() {
 		nd.rotPos++
 		if pm.kind == kData {
 			nd.rn.Proc.Pause(nd.g.Cfg.PerMsgCost)
+			if tr := nd.g.Sim.Tracer(); tr != nil {
+				now := int64(nd.g.Sim.Now())
+				if s == nd.id {
+					// Delivery at the sender is what acks the client.
+					tr.Instant(trace.KCommit, nd.rn.ID, now, trace.ID(pm.payload), int64(idx))
+					tr.Add(trace.CtrCommits, 1)
+				}
+				tr.Instant(trace.KDeliver, nd.rn.ID, now, trace.ID(pm.payload), int64(idx))
+				tr.Add(trace.CtrDelivers, 1)
+			}
 			if nd.g.OnDeliver != nil {
 				nd.g.OnDeliver(nd.id, s, idx, pm.payload)
 			}
@@ -485,6 +506,10 @@ func (nd *node) failureCheck() {
 	}
 	if stale && !nd.wedged {
 		nd.wedged = true
+		if tr := nd.g.Sim.Tracer(); tr != nil {
+			tr.Instant(trace.KElectStart, nd.rn.ID, int64(now), int64(nd.view), 0)
+			tr.Add(trace.CtrElections, 1)
+		}
 		nd.pushRow()
 	}
 }
@@ -633,6 +658,9 @@ func (nd *node) installView(view uint32, members []int, trim []uint64) {
 	nd.members = members
 	nd.wedged = false
 	nd.rotPos = 0
+	if tr := nd.g.Sim.Tracer(); tr != nil {
+		tr.Instant(trace.KElectWin, nd.rn.ID, int64(nd.g.Sim.Now()), int64(view), 0)
+	}
 	nd.pushRow()
 	if nd.g.OnViewChange != nil {
 		nd.g.OnViewChange(nd.id, view, members)

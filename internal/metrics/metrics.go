@@ -12,15 +12,15 @@ import (
 // Histogram collects duration samples and reports order statistics.
 // The zero value is ready to use.
 type Histogram struct {
-	samples []time.Duration
-	sorted  bool
+	samples []time.Duration // insertion order, never reordered
+	sorted  []time.Duration // lazily built sorted copy for order statistics
 	sum     time.Duration
 }
 
 // Add records one sample.
 func (h *Histogram) Add(d time.Duration) {
 	h.samples = append(h.samples, d)
-	h.sorted = false
+	h.sorted = nil
 	h.sum += d
 }
 
@@ -35,10 +35,12 @@ func (h *Histogram) Mean() time.Duration {
 	return h.sum / time.Duration(len(h.samples))
 }
 
+// sort builds the sorted copy; the backing samples stay in insertion order.
 func (h *Histogram) sort() {
-	if !h.sorted {
-		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
-		h.sorted = true
+	if h.sorted == nil {
+		h.sorted = make([]time.Duration, len(h.samples))
+		copy(h.sorted, h.samples)
+		sort.Slice(h.sorted, func(i, j int) bool { return h.sorted[i] < h.sorted[j] })
 	}
 }
 
@@ -49,14 +51,24 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 		return 0
 	}
 	h.sort()
-	rank := p / 100 * float64(len(h.samples)-1)
+	rank := p / 100 * float64(len(h.sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return h.samples[lo]
+		return h.sorted[lo]
 	}
 	frac := rank - float64(lo)
-	return h.samples[lo] + time.Duration(frac*float64(h.samples[hi]-h.samples[lo]))
+	return h.sorted[lo] + time.Duration(frac*float64(h.sorted[hi]-h.sorted[lo]))
+}
+
+// Quantiles returns the percentiles ps in one call (each 0 < p <= 100),
+// sorting at most once.
+func (h *Histogram) Quantiles(ps ...float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
+	for i, p := range ps {
+		out[i] = h.Percentile(p)
+	}
+	return out
 }
 
 // Min returns the smallest sample.
@@ -65,7 +77,7 @@ func (h *Histogram) Min() time.Duration {
 		return 0
 	}
 	h.sort()
-	return h.samples[0]
+	return h.sorted[0]
 }
 
 // Max returns the largest sample.
@@ -74,14 +86,13 @@ func (h *Histogram) Max() time.Duration {
 		return 0
 	}
 	h.sort()
-	return h.samples[len(h.samples)-1]
+	return h.sorted[len(h.sorted)-1]
 }
 
-// Samples returns a copy of the recorded samples: in insertion order until an
-// order statistic (Percentile/Min/Max) has been computed, sorted afterwards.
-// The seed-replay harness compares these byte-for-byte between same-seed
-// runs: identical event execution must produce identical latency sequences,
-// not just identical aggregates.
+// Samples returns a copy of the recorded samples in insertion order. Order
+// statistics never disturb it: the seed-replay harness compares these
+// byte-for-byte between same-seed runs — identical event execution must
+// produce identical latency sequences, not just identical aggregates.
 func (h *Histogram) Samples() []time.Duration {
 	out := make([]time.Duration, len(h.samples))
 	copy(out, h.samples)
@@ -92,13 +103,72 @@ func (h *Histogram) Samples() []time.Duration {
 func (h *Histogram) Reset() {
 	h.samples = h.samples[:0]
 	h.sum = 0
-	h.sorted = true
+	h.sorted = nil
 }
 
 // String summarizes the histogram.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
 		h.N(), h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}
+
+// DefaultBuckets are the fixed histogram-bucket upper bounds used by
+// Export, spanning sub-microsecond RDMA commits to second-scale election
+// stalls in a 1-2-5 progression.
+var DefaultBuckets = []time.Duration{
+	1 * time.Microsecond, 2 * time.Microsecond, 5 * time.Microsecond,
+	10 * time.Microsecond, 20 * time.Microsecond, 50 * time.Microsecond,
+	100 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
+	1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	1 * time.Second,
+}
+
+// Bucket is one cumulative histogram bucket: Count samples were <= Le.
+type Bucket struct {
+	Le    time.Duration
+	Count int
+}
+
+// Snapshot is a machine-readable histogram summary with fixed quantiles
+// and fixed cumulative buckets (the final bucket's bound is the observed
+// maximum, so the counts always reach N).
+type Snapshot struct {
+	N       int
+	Sum     time.Duration
+	Mean    time.Duration
+	Min     time.Duration
+	Max     time.Duration
+	P50     time.Duration
+	P90     time.Duration
+	P99     time.Duration
+	P999    time.Duration
+	Buckets []Bucket
+}
+
+// Export summarizes the histogram over DefaultBuckets.
+func (h *Histogram) Export() Snapshot {
+	s := Snapshot{
+		N:    h.N(),
+		Sum:  h.sum,
+		Mean: h.Mean(),
+		Min:  h.Min(),
+		Max:  h.Max(),
+	}
+	if s.N == 0 {
+		return s
+	}
+	qs := h.Quantiles(50, 90, 99, 99.9)
+	s.P50, s.P90, s.P99, s.P999 = qs[0], qs[1], qs[2], qs[3]
+	// h.sorted is built by the calls above; cumulative counts by binary
+	// search over it.
+	for _, le := range DefaultBuckets {
+		n := sort.Search(len(h.sorted), func(i int) bool { return h.sorted[i] > le })
+		s.Buckets = append(s.Buckets, Bucket{Le: le, Count: n})
+	}
+	s.Buckets = append(s.Buckets, Bucket{Le: s.Max, Count: s.N})
+	return s
 }
 
 // Throughput converts a message count over a simulated interval into

@@ -94,6 +94,107 @@ func TestThroughputHelpers(t *testing.T) {
 	}
 }
 
+func TestHistogramPercentileEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.Percentile(100) != 0 {
+		t.Fatal("p100 of empty histogram should be 0")
+	}
+	h.Add(42)
+	for _, p := range []float64{1, 50, 100} {
+		if got := h.Percentile(p); got != 42 {
+			t.Fatalf("n=1 p%.0f = %v, want 42", p, got)
+		}
+	}
+	h.Add(142)
+	if got := h.Percentile(100); got != 142 {
+		t.Fatalf("p100 = %v, want max", got)
+	}
+	// Linear interpolation between the two ranks: p50 is halfway.
+	if got := h.Percentile(50); got != 92 {
+		t.Fatalf("p50 = %v, want interpolated 92", got)
+	}
+	if got := h.Percentile(75); got != 117 {
+		t.Fatalf("p75 = %v, want interpolated 117", got)
+	}
+}
+
+func TestHistogramSamplesInsertionOrder(t *testing.T) {
+	var h Histogram
+	in := []time.Duration{30, 10, 20}
+	for _, d := range in {
+		h.Add(d)
+	}
+	// Order statistics must not disturb the insertion-ordered samples: the
+	// seed-replay harness fingerprints this sequence.
+	_ = h.Percentile(99)
+	_ = h.Min()
+	_ = h.Max()
+	got := h.Samples()
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("samples reordered: %v, want %v", got, in)
+		}
+	}
+	// And the returned slice is a copy.
+	got[0] = 999
+	if h.Samples()[0] != 30 {
+		t.Fatal("Samples() aliases internal state")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(time.Duration(i))
+	}
+	qs := h.Quantiles(50, 90, 99)
+	want := []time.Duration{h.Percentile(50), h.Percentile(90), h.Percentile(99)}
+	for i := range qs {
+		if qs[i] != want[i] {
+			t.Fatalf("Quantiles[%d] = %v, want %v", i, qs[i], want[i])
+		}
+	}
+}
+
+func TestHistogramExport(t *testing.T) {
+	var h Histogram
+	if s := h.Export(); s.N != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty export: %+v", s)
+	}
+	h.Add(500 * time.Nanosecond) // below the first bucket bound
+	h.Add(3 * time.Microsecond)
+	h.Add(40 * time.Microsecond)
+	h.Add(2 * time.Second) // beyond the last fixed bound
+	s := h.Export()
+	if s.N != 4 || s.Min != 500*time.Nanosecond || s.Max != 2*time.Second {
+		t.Fatalf("export summary: %+v", s)
+	}
+	if s.P50 != h.Percentile(50) || s.P999 != h.Percentile(99.9) {
+		t.Fatal("export quantiles disagree with Percentile")
+	}
+	counts := map[time.Duration]int{}
+	for _, b := range s.Buckets {
+		counts[b.Le] = b.Count
+	}
+	if counts[time.Microsecond] != 1 || counts[5*time.Microsecond] != 2 ||
+		counts[50*time.Microsecond] != 3 || counts[time.Second] != 3 {
+		t.Fatalf("bucket counts: %+v", s.Buckets)
+	}
+	// The final bucket is bounded by the observed max so it reaches N.
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.Le != s.Max || last.Count != s.N {
+		t.Fatalf("final bucket: %+v", last)
+	}
+	// Cumulative counts are monotone.
+	prev := 0
+	for _, b := range s.Buckets {
+		if b.Count < prev {
+			t.Fatalf("non-monotone buckets: %+v", s.Buckets)
+		}
+		prev = b.Count
+	}
+}
+
 func TestHistogramString(t *testing.T) {
 	var h Histogram
 	h.Add(time.Microsecond)

@@ -14,6 +14,7 @@ import (
 	"acuerdo/internal/abcast"
 	"acuerdo/internal/simnet"
 	"acuerdo/internal/tcpnet"
+	"acuerdo/internal/trace"
 )
 
 // Config tunes the libpaxos baseline.
@@ -195,6 +196,10 @@ func (s *Server) pump() {
 		s.node.Proc.Pause(s.c.cfg.ProposerOpCost)
 		m := enc(mAccept, s.ballot, inst, s.id, payload)
 		s.broadcast(m)
+		if tr := s.c.Sim.Tracer(); tr != nil {
+			tr.Instant(trace.KPropose, s.id, int64(s.c.Sim.Now()), trace.ID(payload), int64(inst))
+			tr.Add(trace.CtrProposes, 1)
+		}
 		// Local acceptor accepts directly.
 		s.onAccept(s.ballot, inst, payload)
 	}
@@ -229,6 +234,10 @@ func (s *Server) onAccept(ballot, inst uint64, payload []byte) {
 	s.promised = ballot
 	s.node.Proc.Pause(s.c.cfg.AcceptorOpCost)
 	s.accepted[inst] = acceptedVal{ballot: ballot, payload: append([]byte(nil), payload...)}
+	if tr := s.c.Sim.Tracer(); tr != nil {
+		tr.Instant(trace.KAccept, s.id, int64(s.c.Sim.Now()), trace.ID(payload), int64(inst))
+		tr.Add(trace.CtrAccepts, 1)
+	}
 	out := enc(mAccepted, ballot, inst, s.id, payload)
 	s.broadcast(out)
 	s.onAccepted(ballot, inst, s.id, payload) // local learner
@@ -274,6 +283,15 @@ func (s *Server) deliver() {
 		inst := s.delivered
 		s.delivered++
 		delete(s.learned, inst)
+		if tr := s.c.Sim.Tracer(); tr != nil {
+			now := int64(s.c.Sim.Now())
+			if s.leading {
+				tr.Instant(trace.KCommit, s.id, now, trace.ID(payload), int64(inst))
+				tr.Add(trace.CtrCommits, 1)
+			}
+			tr.Instant(trace.KDeliver, s.id, now, trace.ID(payload), int64(inst))
+			tr.Add(trace.CtrDelivers, 1)
+		}
 		if s.c.OnDeliver != nil {
 			s.c.OnDeliver(s.id, inst, payload)
 		}
@@ -329,6 +347,10 @@ func (s *Server) takeOver() {
 	s.leading = true
 	s.preparing = true
 	s.ballot = s.promised + uint64(s.c.cfg.N) + uint64(s.id) + 1
+	if tr := s.c.Sim.Tracer(); tr != nil {
+		tr.Instant(trace.KElectStart, s.id, int64(s.c.Sim.Now()), int64(s.ballot), 0)
+		tr.Add(trace.CtrElections, 1)
+	}
 	s.promises = make(map[int][]byte)
 	s.nextInst = s.delivered
 	s.broadcast(enc(mPrepare, s.ballot, s.delivered, s.id, nil))
@@ -379,6 +401,9 @@ func (s *Server) onPromise(ballot uint64, from int, payload []byte) {
 		return
 	}
 	s.preparing = false
+	if tr := s.c.Sim.Tracer(); tr != nil {
+		tr.Instant(trace.KElectWin, s.id, int64(s.c.Sim.Now()), int64(s.ballot), 0)
+	}
 	// Merge reported values, keeping the highest ballot per instance.
 	best := make(map[uint64]acceptedVal)
 	for _, buf := range s.promises {

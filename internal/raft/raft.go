@@ -13,6 +13,7 @@ import (
 	"acuerdo/internal/abcast"
 	"acuerdo/internal/simnet"
 	"acuerdo/internal/tcpnet"
+	"acuerdo/internal/trace"
 )
 
 // Config tunes the etcd/Raft baseline.
@@ -203,6 +204,10 @@ func (s *Server) startElection() {
 	s.votes = 1
 	s.lastHeard = s.c.Sim.Now()
 	s.resetTimer()
+	if tr := s.c.Sim.Tracer(); tr != nil {
+		tr.Instant(trace.KElectStart, s.id, int64(s.c.Sim.Now()), int64(s.term), 0)
+		tr.Add(trace.CtrElections, 1)
+	}
 	m := make([]byte, 29)
 	m[0] = mVoteReq
 	binary.LittleEndian.PutUint64(m[1:], s.term)
@@ -273,6 +278,9 @@ func (s *Server) becomeLeader() {
 	for j := range s.nextIndex {
 		s.nextIndex[j] = len(s.log)
 		s.inflight[j] = false
+	}
+	if tr := s.c.Sim.Tracer(); tr != nil {
+		tr.Instant(trace.KElectWin, s.id, int64(s.c.Sim.Now()), int64(s.term), 0)
 	}
 	s.heartbeat()
 }
@@ -384,6 +392,7 @@ func (s *Server) onAppend(m []byte) {
 	// Truncate conflicts, append new entries.
 	for i, e := range entries {
 		idx := prev + i
+		appended := false
 		if idx < len(s.log) {
 			if s.log[idx].term != e.term {
 				s.log = s.log[:idx]
@@ -391,9 +400,17 @@ func (s *Server) onAppend(m []byte) {
 					s.persisted = idx
 				}
 				s.log = append(s.log, e)
+				appended = true
 			}
 		} else {
 			s.log = append(s.log, e)
+			appended = true
+		}
+		if appended {
+			if tr := s.c.Sim.Tracer(); tr != nil {
+				tr.Instant(trace.KAccept, s.id, int64(s.c.Sim.Now()), trace.ID(e.payload), int64(idx))
+				tr.Add(trace.CtrAccepts, 1)
+			}
 		}
 	}
 	match := prev + len(entries)
@@ -501,6 +518,15 @@ func (s *Server) apply() {
 	for s.applied < s.commit {
 		e := s.log[s.applied]
 		s.applied++
+		if tr := s.c.Sim.Tracer(); tr != nil {
+			now := int64(s.c.Sim.Now())
+			if s.role == leader {
+				tr.Instant(trace.KCommit, s.id, now, trace.ID(e.payload), int64(s.applied))
+				tr.Add(trace.CtrCommits, 1)
+			}
+			tr.Instant(trace.KDeliver, s.id, now, trace.ID(e.payload), int64(s.applied))
+			tr.Add(trace.CtrDelivers, 1)
+		}
 		if s.c.OnDeliver != nil {
 			s.c.OnDeliver(s.id, s.applied, e.payload)
 		}
@@ -520,6 +546,10 @@ func (s *Server) propose(payload []byte) {
 			return
 		}
 		s.log = append(s.log, entry{term: s.term, payload: append([]byte(nil), payload...)})
+		if tr := s.c.Sim.Tracer(); tr != nil {
+			tr.Instant(trace.KPropose, s.id, int64(s.c.Sim.Now()), trace.ID(payload), int64(len(s.log)))
+			tr.Add(trace.CtrProposes, 1)
+		}
 		s.persist(len(s.log), func() {
 			s.advanceCommit()
 			for j := range s.out {

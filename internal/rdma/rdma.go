@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"acuerdo/internal/simnet"
+	"acuerdo/internal/trace"
 )
 
 // Params calibrates the fabric. Defaults (DefaultParams) approximate the
@@ -247,6 +248,7 @@ type parkedWrite struct {
 	signaled bool
 	wrid     uint64
 	ser      time.Duration
+	n        int
 }
 
 // Connect creates a reliable-connection QP from n to remote, with
@@ -288,6 +290,16 @@ func (qp *QP) post(payload int) (deliverAt simnet.Time, ser time.Duration) {
 	}
 	txDone := start.Add(ser)
 	qp.from.nicFreeAt = txDone
+	if tr := sim.Tracer(); tr != nil {
+		wire := payload + p.WireOverhead
+		if wire < p.MinWireSize {
+			wire = p.MinWireSize
+		}
+		tr.Span(trace.KWireTx, qp.from.ID, int64(start), int64(ser), int64(wire), 0)
+		tr.Add(trace.CtrRDMAWireTime, int64(ser))
+		tr.Add(trace.CtrRDMABytes, int64(wire))
+		tr.Add(trace.CtrRDMAPostTime, int64(p.PostCost))
+	}
 	// Wire: latency + jitter, FIFO-clamped per QP.
 	lat := p.LinkLatency
 	if p.LinkJitter != nil {
@@ -313,6 +325,10 @@ func (qp *QP) complete(at simnet.Time, wrid uint64, st CompletionStatus, data []
 		qp.outstanding = 0
 		if qp.cq != nil {
 			qp.cq.entries = append(qp.cq.entries, Completion{QP: qp, WRID: wrid, Status: st, Data: data})
+		}
+		if tr := sim.Tracer(); tr != nil {
+			tr.Instant(trace.KCQE, qp.from.ID, int64(at), int64(wrid), int64(st))
+			tr.Add(trace.CtrCQEs, 1)
 		}
 	})
 }
@@ -361,9 +377,17 @@ func (qp *QP) write(remote *MR, off int, data []byte, signaled bool) (uint64, er
 
 	sim := qp.from.Fabric.Sim
 	deliverAt, ser := qp.post(len(data))
+	if tr := sim.Tracer(); tr != nil {
+		tr.Instant(trace.KWRPost, qp.from.ID, int64(sim.Now()), int64(wrid), int64(len(data)))
+		tr.Add(trace.CtrRDMAWrites, 1)
+		if !signaled {
+			tr.Instant(trace.KSigSkip, qp.from.ID, int64(sim.Now()), int64(wrid), 0)
+			tr.Add(trace.CtrSigSkips, 1)
+		}
+	}
 
 	if qp.from.Fabric.Partitioned(qp.from.ID, qp.to.ID) {
-		qp.parked = append(qp.parked, parkedWrite{apply: apply, signaled: signaled, wrid: wrid, ser: ser})
+		qp.parked = append(qp.parked, parkedWrite{apply: apply, signaled: signaled, wrid: wrid, ser: ser, n: len(data)})
 		return wrid, nil
 	}
 
@@ -376,6 +400,9 @@ func (qp *QP) write(remote *MR, off int, data []byte, signaled bool) (uint64, er
 			return
 		}
 		apply()
+		if tr := sim.Tracer(); tr != nil {
+			tr.Instant(trace.KWireRx, qp.to.ID, int64(deliverAt), int64(wrid), int64(len(buf)))
+		}
 		if signaled {
 			qp.complete(deliverAt.Add(qp.params.LinkLatency), wrid, OK, nil)
 		}
@@ -404,6 +431,9 @@ func (qp *QP) flushParked() {
 				return
 			}
 			pw.apply()
+			if tr := sim.Tracer(); tr != nil {
+				tr.Instant(trace.KWireRx, qp.to.ID, int64(at), int64(pw.wrid), int64(pw.n))
+			}
 			if pw.signaled {
 				qp.complete(at.Add(qp.params.LinkLatency), pw.wrid, OK, nil)
 			}
@@ -434,6 +464,10 @@ func (qp *QP) Read(remote *MR, off, n int) (uint64, error) {
 	p := qp.params
 	// Request is a minimum-size frame.
 	reqAt, _ := qp.post(0)
+	if tr := sim.Tracer(); tr != nil {
+		tr.Instant(trace.KWRPost, qp.from.ID, int64(sim.Now()), int64(wrid), int64(n))
+		tr.Add(trace.CtrRDMAReads, 1)
+	}
 	if qp.from.Fabric.Partitioned(qp.from.ID, qp.to.ID) || qp.to.crashed {
 		qp.complete(reqAt.Add(p.RetryTimeout), wrid, Flushed, nil)
 		return wrid, nil

@@ -3,6 +3,8 @@ package simnet
 import (
 	"fmt"
 	"time"
+
+	"acuerdo/internal/trace"
 )
 
 // DeschedConfig injects OS-scheduler pauses into a Proc: roughly every
@@ -39,6 +41,7 @@ type Proc struct {
 
 // NewProc creates a live process.
 func NewProc(s *Sim, id int, name string) *Proc {
+	s.tracer.SetThreadName(id, name)
 	return &Proc{Sim: s, ID: id, Name: name, alive: true}
 }
 
@@ -59,6 +62,7 @@ func (p *Proc) Alive() bool { return p.alive }
 func (p *Proc) Crash() {
 	p.alive = false
 	p.epoch++
+	p.Sim.tracer.Instant(trace.KProcCrash, p.ID, int64(p.Sim.Now()), int64(p.epoch), 0)
 }
 
 // Recover restarts a crashed process with an idle CPU.
@@ -68,6 +72,7 @@ func (p *Proc) Recover() {
 	if p.desched != nil {
 		p.nextDesched = p.Sim.Now().Add(p.desched.Interval.Sample(p.Sim.Rand()))
 	}
+	p.Sim.tracer.Instant(trace.KProcRecover, p.ID, int64(p.Sim.Now()), int64(p.epoch), 0)
 }
 
 // Pause deschedules the process for d starting now (on top of queued work).
@@ -98,6 +103,10 @@ func (p *Proc) acquire() Time {
 			if start < end {
 				start = end
 			}
+			if tr := p.Sim.tracer; tr != nil {
+				tr.Span(trace.KProcDesched, p.ID, int64(p.nextDesched), int64(pause), 0, 0)
+				tr.Add(trace.CtrDeschedTime, int64(pause))
+			}
 			p.nextDesched = end.Add(p.desched.Interval.Sample(p.Sim.Rand()))
 		}
 	}
@@ -119,6 +128,10 @@ func (p *Proc) Run(cost time.Duration, fn func()) Time {
 	done := start.Add(cost)
 	p.busyUntil = done
 	p.busyTime += cost
+	if tr := p.Sim.tracer; tr != nil {
+		tr.Span(trace.KProcRun, p.ID, int64(start), int64(cost), 0, 0)
+		tr.Add(trace.CtrProcTime, int64(cost))
+	}
 	epoch := p.epoch
 	p.Sim.At(done, func() {
 		if p.alive && p.epoch == epoch && fn != nil {
@@ -161,6 +174,11 @@ func (p *Proc) PollLoop(interval, cost time.Duration, poll func()) (stop func())
 		p.Run(cost, func() {
 			if stopped {
 				return
+			}
+			if tr := p.Sim.tracer; tr != nil {
+				tr.Instant(trace.KPoll, p.ID, int64(p.Sim.Now()), 0, 0)
+				tr.Add(trace.CtrPolls, 1)
+				tr.Add(trace.CtrPollTime, int64(cost))
 			}
 			poll()
 			p.Sim.After(interval, iter)

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"acuerdo/internal/trace"
 )
 
 // Time is a point in simulated time, in nanoseconds since the start of the
@@ -82,6 +84,8 @@ type Sim struct {
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
+	pending int
+	tracer  *trace.Tracer
 
 	// Stats
 	processed uint64
@@ -100,6 +104,16 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 
 // Processed reports the number of events executed so far.
 func (s *Sim) Processed() uint64 { return s.processed }
+
+// SetTracer installs a trace collector. Pass nil to disable tracing (the
+// default); every layer fetches the tracer through Tracer() at emit time,
+// and a nil tracer makes every emit a cheap no-op. Install the tracer
+// before building transports and protocols on this Sim so that process
+// names register with it.
+func (s *Sim) SetTracer(t *trace.Tracer) { s.tracer = t }
+
+// Tracer returns the installed trace collector, or nil when disabled.
+func (s *Sim) Tracer() *trace.Tracer { return s.tracer }
 
 // Timer is a handle to a scheduled event that can be stopped before firing.
 type Timer struct {
@@ -120,6 +134,7 @@ func (t *Timer) Stop() bool {
 	}
 	t.ev.stopped = true
 	heap.Remove(&t.s.events, t.ev.index)
+	t.s.pending--
 	return true
 }
 
@@ -132,6 +147,7 @@ func (s *Sim) At(at Time, fn func()) *Timer {
 	s.seq++
 	ev := &event{at: at, seq: s.seq, fn: fn}
 	heap.Push(&s.events, ev)
+	s.pending++
 	return &Timer{s: s, ev: ev}
 }
 
@@ -147,11 +163,16 @@ func (s *Sim) After(d time.Duration, fn func()) *Timer {
 func (s *Sim) Step() bool {
 	for s.events.Len() > 0 {
 		ev := heap.Pop(&s.events).(*event)
+		s.pending--
 		if ev.stopped {
 			continue
 		}
 		s.now = ev.at
 		s.processed++
+		if s.tracer != nil {
+			s.tracer.Instant(trace.KSimEvent, -1, int64(ev.at), int64(ev.seq), 0)
+			s.tracer.Add(trace.CtrSimEvents, 1)
+		}
 		ev.fn()
 		return true
 	}
@@ -197,12 +218,6 @@ func (s *Sim) Run() {
 func (s *Sim) Stop() { s.stopped = true }
 
 // Pending reports the number of scheduled (unfired, unstopped) events.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, ev := range s.events {
-		if !ev.stopped {
-			n++
-		}
-	}
-	return n
-}
+// The count is maintained incrementally at schedule/stop/fire time, so
+// calling it in a hot assertion loop is O(1).
+func (s *Sim) Pending() int { return s.pending }

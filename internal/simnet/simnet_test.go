@@ -332,4 +332,19 @@ func TestPendingCount(t *testing.T) {
 	if s.Pending() != 1 {
 		t.Fatalf("pending = %d, want 1", s.Pending())
 	}
+	// Stopping twice must not double-count the removal.
+	tm.Stop()
+	if s.Pending() != 1 {
+		t.Fatalf("pending after double stop = %d, want 1", s.Pending())
+	}
+	// Events scheduled from inside callbacks are counted too, and running
+	// the simulation dry drains the counter to zero.
+	s.After(30, func() { s.After(5, func() {}) })
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("pending after drain = %d, want 0", s.Pending())
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"acuerdo/internal/simnet"
+	"acuerdo/internal/trace"
 )
 
 // Params calibrates the TCP path. See DESIGN.md §5.
@@ -148,11 +149,25 @@ func (c *Conn) Send(msg []byte) {
 	}
 	c.lastDeliver = arrive
 
+	if tr := sim.Tracer(); tr != nil {
+		tr.Span(trace.KTCPSend, nd.ID, int64(sim.Now()), int64(p.SendCost), int64(len(msg)), 0)
+		tr.Span(trace.KTCPWire, nd.ID, int64(txStart), int64(arrive-txStart), int64(len(msg)), 0)
+		tr.Span(trace.KTCPWakeup, c.to.ID, int64(arrive), int64(p.WakeupLatency), 0, 0)
+		tr.Add(trace.CtrTCPMsgs, 1)
+		tr.Add(trace.CtrTCPBytes, int64(len(msg)))
+		tr.Add(trace.CtrTCPSendTime, int64(p.SendCost))
+		tr.Add(trace.CtrTCPWakeups, 1)
+	}
+
 	buf := make([]byte, len(msg))
 	copy(buf, msg)
 	to := c.to
 	// Receiver: wakeup + recv processing on the receiving CPU.
 	to.Proc.RunAt(arrive.Add(p.WakeupLatency), p.RecvCost, func() {
+		if tr := sim.Tracer(); tr != nil {
+			// Run fires at completion time, so the recv span ends now.
+			tr.Span(trace.KTCPRecv, to.ID, int64(sim.Now())-int64(p.RecvCost), int64(p.RecvCost), int64(len(buf)), 0)
+		}
 		c.handler(buf)
 	})
 }

@@ -1,0 +1,414 @@
+// Package trace is the structured observability layer for the simulated
+// stack: a bounded ring of fixed-size events, per-layer counters, a
+// streaming fingerprint over the full event stream, and a per-message
+// latency decomposition built from protocol phase markers.
+//
+// Design constraints (see DESIGN.md §6.2):
+//
+//   - Zero allocation and near-zero cost when disabled. Every emit method
+//     has a nil-receiver fast path, so call sites hold a possibly-nil
+//     *Tracer and call unconditionally.
+//   - No dependency on simnet (simnet imports trace, not vice versa).
+//     Timestamps are int64 simulated nanoseconds.
+//   - Deterministic: events carry no strings or pointers, emission order
+//     is the simulator's event order, and the fingerprint is folded at
+//     emit time, so two runs of the same seed produce identical streams
+//     byte for byte — even after the ring has overwritten old events.
+package trace
+
+import "encoding/binary"
+
+// Kind identifies an event type. Kinds are stable small integers; names
+// live in a side table so emitting an event never touches a string.
+type Kind uint8
+
+// Event kinds, grouped by layer.
+const (
+	// Simulator core.
+	KSimEvent    Kind = iota // one scheduled event dispatched; A=sequence number
+	KProcRun                 // Proc consumed CPU; Dur=cost
+	KProcDesched             // Proc was descheduled; Dur=pause
+	KProcCrash               // Proc crashed; A=epoch
+	KProcRecover             // Proc recovered; A=epoch
+	KPoll                    // one poll-loop iteration; Dur=poll cost
+
+	// RDMA fabric.
+	KWRPost  // work request posted; A=wr id, B=payload bytes
+	KWireTx  // NIC serialization window; A=bytes on wire
+	KWireRx  // bytes landed in remote memory; A=wr id, B=bytes on wire
+	KCQE     // completion queue entry; A=wr id, B=status
+	KSigSkip // unsignaled completion suppressed; A=wr id
+
+	// TCP/kernel path.
+	KTCPSend   // send syscall; Dur=syscall cost, A=payload bytes
+	KTCPWire   // kernel+NIC+link time; A=payload bytes
+	KTCPWakeup // receiver wakeup latency; Dur=wakeup
+	KTCPRecv   // receive handler ran; Dur=recv cost, A=payload bytes
+
+	// Protocol phases. A=message id (first 8 bytes of payload) except for
+	// elections, where A is an epoch/view/term number.
+	KSubmit     // client handed payload to the system
+	KPropose    // proposer posted the message to the network
+	KAccept     // a replica accepted/acked the proposal
+	KCommit     // commit decided at the replica that acks the client
+	KDeliver    // message delivered to the application
+	KAck        // client observed the commit
+	KElectStart // election / view change started
+	KElectWin   // election / view change completed
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KSimEvent:    "sim.event",
+	KProcRun:     "proc.run",
+	KProcDesched: "proc.desched",
+	KProcCrash:   "proc.crash",
+	KProcRecover: "proc.recover",
+	KPoll:        "proc.poll",
+	KWRPost:      "rdma.post",
+	KWireTx:      "rdma.wire_tx",
+	KWireRx:      "rdma.wire_rx",
+	KCQE:         "rdma.cqe",
+	KSigSkip:     "rdma.sig_skip",
+	KTCPSend:     "tcp.send",
+	KTCPWire:     "tcp.wire",
+	KTCPWakeup:   "tcp.wakeup",
+	KTCPRecv:     "tcp.recv",
+	KSubmit:      "proto.submit",
+	KPropose:     "proto.propose",
+	KAccept:      "proto.accept",
+	KCommit:      "proto.commit",
+	KDeliver:     "proto.deliver",
+	KAck:         "proto.ack",
+	KElectStart:  "proto.elect_start",
+	KElectWin:    "proto.elect_win",
+}
+
+// KindName returns the stable name of k ("rdma.cqe", "proto.commit", ...).
+func KindName(k Kind) string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+var kindCats = [numKinds]string{
+	KSimEvent:    "sim",
+	KProcRun:     "proc",
+	KProcDesched: "proc",
+	KProcCrash:   "proc",
+	KProcRecover: "proc",
+	KPoll:        "proc",
+	KWRPost:      "rdma",
+	KWireTx:      "rdma",
+	KWireRx:      "rdma",
+	KCQE:         "rdma",
+	KSigSkip:     "rdma",
+	KTCPSend:     "tcp",
+	KTCPWire:     "tcp",
+	KTCPWakeup:   "tcp",
+	KTCPRecv:     "tcp",
+	KSubmit:      "proto",
+	KPropose:     "proto",
+	KAccept:      "proto",
+	KCommit:      "proto",
+	KDeliver:     "proto",
+	KAck:         "proto",
+	KElectStart:  "proto",
+	KElectWin:    "proto",
+}
+
+// Counter identifies a monotonic per-layer counter.
+type Counter uint8
+
+// Counters, grouped by layer.
+const (
+	CtrSimEvents   Counter = iota // events dispatched by the simulator
+	CtrProcTime                   // ns of simulated CPU consumed
+	CtrDeschedTime                // ns spent descheduled
+	CtrPolls                      // poll-loop iterations
+	CtrPollTime                   // ns of poll-loop CPU
+
+	CtrRDMAWrites   // RDMA writes posted
+	CtrRDMAReads    // RDMA reads posted
+	CtrRDMABytes    // bytes on the RDMA wire (incl. per-message overhead)
+	CtrRDMAPostTime // ns of verb-post CPU
+	CtrRDMAWireTime // ns of NIC serialization
+	CtrCQEs         // completions surfaced
+	CtrSigSkips     // completions suppressed by selective signaling
+
+	CtrTCPMsgs     // messages sent over TCP
+	CtrTCPBytes    // payload bytes sent over TCP
+	CtrTCPSendTime // ns of send-syscall CPU
+	CtrTCPWakeups  // receiver wakeups
+
+	CtrSubmits   // client submissions
+	CtrProposes  // proposals posted
+	CtrAccepts   // acceptances recorded
+	CtrCommits   // commits decided
+	CtrDelivers  // application deliveries
+	CtrAcks      // client acks observed
+	CtrElections // elections / view changes started
+
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	CtrSimEvents:    "sim.events",
+	CtrProcTime:     "proc.cpu_ns",
+	CtrDeschedTime:  "proc.desched_ns",
+	CtrPolls:        "proc.polls",
+	CtrPollTime:     "proc.poll_ns",
+	CtrRDMAWrites:   "rdma.writes",
+	CtrRDMAReads:    "rdma.reads",
+	CtrRDMABytes:    "rdma.wire_bytes",
+	CtrRDMAPostTime: "rdma.post_ns",
+	CtrRDMAWireTime: "rdma.wire_ns",
+	CtrCQEs:         "rdma.cqes",
+	CtrSigSkips:     "rdma.sig_skips",
+	CtrTCPMsgs:      "tcp.msgs",
+	CtrTCPBytes:     "tcp.bytes",
+	CtrTCPSendTime:  "tcp.send_ns",
+	CtrTCPWakeups:   "tcp.wakeups",
+	CtrSubmits:      "proto.submits",
+	CtrProposes:     "proto.proposes",
+	CtrAccepts:      "proto.accepts",
+	CtrCommits:      "proto.commits",
+	CtrDelivers:     "proto.delivers",
+	CtrAcks:         "proto.acks",
+	CtrElections:    "proto.elections",
+}
+
+// NumCounters is the number of defined counters (for iteration).
+const NumCounters = int(numCounters)
+
+// CounterName returns the stable name of c ("rdma.wire_bytes", ...).
+func CounterName(c Counter) string {
+	if int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return "unknown"
+}
+
+// Event is one fixed-size trace record. TS and Dur are simulated
+// nanoseconds; Dur is zero for instantaneous events. Node is the emitting
+// node id, or -1 for simulator-global events. A and B are kind-specific
+// operands (see the Kind constants).
+type Event struct {
+	TS   int64
+	Dur  int64
+	Kind Kind
+	Node int32
+	A    int64
+	B    int64
+}
+
+// stageSet holds the phase timestamps observed for one message id.
+// Values are -1 until the stage is seen; each stage is first-wins.
+type stageSet struct {
+	submit, propose, accept, commit, ack int64
+	proposeNode                          int32
+}
+
+// Tracer collects events into a bounded ring, maintains counters, and
+// folds every emitted event into a streaming FNV-1a fingerprint. All emit
+// methods are safe on a nil receiver (no-ops), which is the disabled
+// state. A Tracer is not safe for concurrent use; the simulator is
+// single-threaded by construction.
+type Tracer struct {
+	ring    []Event
+	start   int // index of oldest event
+	n       int // live events in ring
+	emitted uint64
+	dropped uint64
+
+	counters [numCounters]int64
+	fp       uint64
+
+	stages map[int64]*stageSet
+	names  map[int32]string
+}
+
+// DefaultRing is the ring capacity used when New is given a size <= 0.
+const DefaultRing = 1 << 16
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// New returns an enabled Tracer whose ring holds at most maxEvents events
+// (DefaultRing if maxEvents <= 0). Older events are overwritten once the
+// ring is full; counters, stages, and the fingerprint keep covering the
+// complete stream regardless.
+func New(maxEvents int) *Tracer {
+	if maxEvents <= 0 {
+		maxEvents = DefaultRing
+	}
+	return &Tracer{
+		ring:   make([]Event, maxEvents),
+		stages: make(map[int64]*stageSet),
+		names:  make(map[int32]string),
+		fp:     fnvOffset,
+	}
+}
+
+// emit records ev in the ring, folds it into the fingerprint, and feeds
+// the stage tracker.
+func (t *Tracer) emit(ev Event) {
+	t.emitted++
+	// Streaming FNV-1a over the event's fields, byte by byte, so the
+	// fingerprint covers the entire stream even after ring overwrite.
+	var buf [37]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(ev.TS))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(ev.Dur))
+	buf[16] = byte(ev.Kind)
+	binary.LittleEndian.PutUint32(buf[17:], uint32(ev.Node))
+	binary.LittleEndian.PutUint64(buf[21:], uint64(ev.A))
+	binary.LittleEndian.PutUint64(buf[29:], uint64(ev.B))
+	h := t.fp
+	for _, b := range buf {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	t.fp = h
+
+	if t.n < len(t.ring) {
+		t.ring[(t.start+t.n)%len(t.ring)] = ev
+		t.n++
+	} else {
+		t.ring[t.start] = ev
+		t.start = (t.start + 1) % len(t.ring)
+		t.dropped++
+	}
+
+	switch ev.Kind {
+	case KSubmit, KPropose, KAccept, KCommit, KAck:
+		t.stage(ev)
+	}
+}
+
+// stage feeds the per-message latency decomposition. Each stage is
+// first-wins; KAccept only counts when it comes from a node other than
+// the proposer (the local self-accept carries no wire time).
+func (t *Tracer) stage(ev Event) {
+	s := t.stages[ev.A]
+	if s == nil {
+		s = &stageSet{submit: -1, propose: -1, accept: -1, commit: -1, ack: -1, proposeNode: -1}
+		t.stages[ev.A] = s
+	}
+	switch ev.Kind {
+	case KSubmit:
+		if s.submit < 0 {
+			s.submit = ev.TS
+		}
+	case KPropose:
+		if s.propose < 0 {
+			s.propose = ev.TS
+			s.proposeNode = ev.Node
+		}
+	case KAccept:
+		if s.accept < 0 && ev.Node != s.proposeNode {
+			s.accept = ev.TS
+		}
+	case KCommit:
+		if s.commit < 0 {
+			s.commit = ev.TS
+		}
+	case KAck:
+		if s.ack < 0 {
+			s.ack = ev.TS
+		}
+	}
+}
+
+// Span records an event with a duration. ts is the span start.
+func (t *Tracer) Span(k Kind, node int, ts, dur, a, b int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{TS: ts, Dur: dur, Kind: k, Node: int32(node), A: a, B: b})
+}
+
+// Instant records a zero-duration event at ts.
+func (t *Tracer) Instant(k Kind, node int, ts, a, b int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{TS: ts, Kind: k, Node: int32(node), A: a, B: b})
+}
+
+// Add bumps counter c by delta.
+func (t *Tracer) Add(c Counter, delta int64) {
+	if t == nil {
+		return
+	}
+	t.counters[c] += delta
+}
+
+// Counter returns the current value of c (0 on a nil Tracer).
+func (t *Tracer) Counter(c Counter) int64 {
+	if t == nil {
+		return 0
+	}
+	return t.counters[c]
+}
+
+// Events returns the ring contents oldest-first. The slice is a copy.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.ring[(t.start+i)%len(t.ring)]
+	}
+	return out
+}
+
+// Emitted returns the total number of events emitted, including any that
+// the ring has since overwritten.
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.emitted
+}
+
+// Dropped returns how many events the ring overwrote.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Fingerprint returns the streaming FNV-1a hash over every event emitted
+// so far. Two runs with the same seed must produce the same fingerprint;
+// the replay harness asserts exactly that.
+func (t *Tracer) Fingerprint() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.fp
+}
+
+// SetThreadName labels a node id for the Chrome export ("replica 0",
+// "client", ...). Safe on nil.
+func (t *Tracer) SetThreadName(node int, name string) {
+	if t == nil {
+		return
+	}
+	t.names[int32(node)] = name
+}
+
+// ID extracts the message id convention used by the protocol markers: the
+// first 8 bytes of the payload, little-endian (0 if the payload is
+// shorter). This matches abcast.MsgID.
+func ID(payload []byte) int64 {
+	if len(payload) < 8 {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(payload))
+}

@@ -19,6 +19,7 @@ import (
 	"acuerdo/internal/abcast"
 	"acuerdo/internal/simnet"
 	"acuerdo/internal/tcpnet"
+	"acuerdo/internal/trace"
 )
 
 // Config tunes the ZooKeeper baseline.
@@ -224,6 +225,10 @@ func (s *Server) clientRequest(payload []byte) {
 		s.log = append(s.log, e)
 		s.acks[zxid] = 0
 		s.broadcast(enc(mPropose, s.epoch, zxid, payload))
+		if tr := s.c.Sim.Tracer(); tr != nil {
+			tr.Instant(trace.KPropose, s.id, int64(s.c.Sim.Now()), trace.ID(payload), int64(zxid))
+			tr.Add(trace.CtrProposes, 1)
+		}
 		// The leader counts its own ack after its own group commit.
 		s.persist(e, func() { s.onAck(zxid) })
 	})
@@ -266,6 +271,10 @@ func (s *Server) handle(m []byte) {
 		s.node.Proc.Pause(s.c.cfg.FollowerOpCost)
 		e := entry{zxid: zxid, payload: append([]byte(nil), payload...)}
 		s.log = append(s.log, e)
+		if tr := s.c.Sim.Tracer(); tr != nil {
+			tr.Instant(trace.KAccept, s.id, int64(s.c.Sim.Now()), trace.ID(payload), int64(zxid))
+			tr.Add(trace.CtrAccepts, 1)
+		}
 		s.persist(e, func() { s.send(s.leader, enc(mAck, s.epoch, zxid, nil)) })
 	case mAck:
 		if s.role != leading || epoch != s.epoch {
@@ -315,6 +324,15 @@ func (s *Server) deliverUpTo(zxid uint64) {
 	for s.committed < len(s.log) && s.log[s.committed].zxid <= zxid {
 		e := s.log[s.committed]
 		s.committed++
+		if tr := s.c.Sim.Tracer(); tr != nil {
+			now := int64(s.c.Sim.Now())
+			if s.role == leading {
+				tr.Instant(trace.KCommit, s.id, now, trace.ID(e.payload), int64(e.zxid))
+				tr.Add(trace.CtrCommits, 1)
+			}
+			tr.Instant(trace.KDeliver, s.id, now, trace.ID(e.payload), int64(e.zxid))
+			tr.Add(trace.CtrDelivers, 1)
+		}
 		if s.c.OnDeliver != nil {
 			s.c.OnDeliver(s.id, e.zxid, e.payload)
 		}
@@ -333,6 +351,10 @@ func (s *Server) startElection() {
 	s.leader = -1
 	s.epoch++
 	s.votes = map[int]voteT{s.id: {s.epoch, s.lastZxid, s.id}}
+	if tr := s.c.Sim.Tracer(); tr != nil {
+		tr.Instant(trace.KElectStart, s.id, int64(s.c.Sim.Now()), int64(s.epoch), 0)
+		tr.Add(trace.CtrElections, 1)
+	}
 	s.sendVote()
 	s.armElectTimer()
 }
@@ -399,6 +421,9 @@ func (s *Server) becomeLeader() {
 	s.role = leading
 	s.leader = s.id
 	s.active = false
+	if tr := s.c.Sim.Tracer(); tr != nil {
+		tr.Instant(trace.KElectWin, s.id, int64(s.c.Sim.Now()), int64(s.epoch), 0)
+	}
 	s.nlAcks = 0
 	s.acks = make(map[uint64]int)
 	s.counter = 0
