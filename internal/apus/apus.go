@@ -301,6 +301,39 @@ func (c *Cluster) clientPoll() {
 	}
 }
 
+// --- fault injection (chaos engine surface) ---
+
+// Node returns replica i's fabric endpoint.
+func (c *Cluster) Node(i int) *rdma.Node { return c.nodes[i] }
+
+// Crash fail-stops replica i. Crashing the leader (replica 0) permanently
+// halts the system: APUS as modelled here has a fixed leader with
+// exclusive write access to the acceptor logs and no election protocol,
+// so leader death is by-design graceful degradation — the no-progress
+// watchdog reports the resulting unavailability instead of the harness
+// hanging (see DESIGN.md §7).
+func (c *Cluster) Crash(i int) { c.nodes[i].Crash() }
+
+// Restart recovers a crashed acceptor and resumes its acknowledgment
+// loop. Restarting the leader is deliberately a no-op: its queue pair and
+// ring state toward the acceptors cannot be re-established one-sided, so
+// the halt is permanent (the watchdog reports it).
+func (c *Cluster) Restart(i int) {
+	if i == 0 || !c.nodes[i].Crashed() {
+		return
+	}
+	c.nodes[i].Recover()
+	c.nodes[i].Proc.PollLoop(c.cfg.AckInterval, c.cfg.PollCost, func() { c.acceptorPoll(i) })
+}
+
+// LeaderIdx returns 0 while the fixed leader is alive, else -1.
+func (c *Cluster) LeaderIdx() int {
+	if c.nodes[0].Crashed() {
+		return -1
+	}
+	return 0
+}
+
 // Name implements abcast.System.
 func (c *Cluster) Name() string { return "apus" }
 

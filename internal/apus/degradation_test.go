@@ -1,0 +1,91 @@
+package apus
+
+import (
+	"testing"
+	"time"
+
+	"acuerdo/internal/abcast"
+)
+
+// TestLeaderDeathIsPermanentByDesign pins APUS's graceful-degradation
+// contract (DESIGN.md §7): the system has a fixed leader with exclusive
+// write access to the acceptor logs and no election protocol, so killing
+// replica 0 permanently halts broadcast. Ready() must go false and stay
+// false — Restart(0) is deliberately a no-op — so the chaos harness's
+// watchdog reports the halt as unavailability instead of the run hanging.
+func TestLeaderDeathIsPermanentByDesign(t *testing.T) {
+	sim, c, chk := newCluster(t, 3, 1)
+	done := 0
+	for i := uint64(1); i <= 50; i++ {
+		p := make([]byte, 16)
+		abcast.PutMsgID(p, i)
+		chk.OnBroadcast(i)
+		c.Submit(p, func() { done++ })
+	}
+	sim.RunFor(20 * time.Millisecond)
+	if done != 50 {
+		t.Fatalf("committed %d of 50 before the kill", done)
+	}
+
+	c.Crash(0)
+	if c.Ready() {
+		t.Fatal("Ready() true with the fixed leader dead")
+	}
+	if got := c.LeaderIdx(); got != -1 {
+		t.Fatalf("LeaderIdx() = %d after leader death, want -1", got)
+	}
+
+	// The recovery path must not pretend to revive it.
+	c.Restart(0)
+	sim.RunFor(50 * time.Millisecond)
+	if c.Ready() {
+		t.Fatal("Restart(0) revived a system with no leader-recovery protocol")
+	}
+	if err := chk.CheckTotalOrder(); err != nil {
+		t.Fatalf("safety violated on the way down: %v", err)
+	}
+}
+
+// TestAcceptorRestartResumesAcks pins the recoverable half of the
+// contract: a crashed acceptor may restart — its acknowledgment loop is
+// re-created and, because the leader's ring writes toward a crashed peer
+// were dropped while it was down, it simply resumes acking from whatever
+// state it still shares with the leader. With the other acceptor healthy
+// the whole outage is invisible to clients (quorum 2 of 3 held), and the
+// restarted acceptor must not break anything once back.
+func TestAcceptorRestartResumesAcks(t *testing.T) {
+	sim, c, chk := newCluster(t, 3, 2)
+	var next uint64
+	done := 0
+	submit := func(k int) {
+		for i := 0; i < k; i++ {
+			next++
+			p := make([]byte, 16)
+			abcast.PutMsgID(p, next)
+			chk.OnBroadcast(next)
+			c.Submit(p, func() { done++ })
+		}
+	}
+	submit(20)
+	sim.RunFor(10 * time.Millisecond)
+	if done != 20 {
+		t.Fatalf("committed %d of 20 before the crash", done)
+	}
+
+	c.Crash(2)
+	submit(20)
+	sim.RunFor(10 * time.Millisecond)
+	if done != 40 {
+		t.Fatalf("committed %d of 40 with one acceptor down (quorum should hold)", done)
+	}
+
+	c.Restart(2)
+	submit(20)
+	sim.RunFor(20 * time.Millisecond)
+	if done != 60 {
+		t.Fatalf("committed %d of 60 after the acceptor restart", done)
+	}
+	if err := chk.CheckTotalOrder(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -55,6 +55,20 @@ type Instance struct {
 	// DerechoCluster is set for the Derecho kinds (fault-injection
 	// ablations).
 	DerechoCluster *derecho.Cluster
+
+	// Fabric/Net is whichever interconnect the system runs on; exactly one
+	// is non-nil. The chaos adapter drives its cut/loss/spike surface.
+	Fabric *rdma.Fabric
+	Net    *tcpnet.Net
+
+	// Per-system control closures behind the chaos.Target adapter: replica
+	// index -> interconnect node id / scheduler process, current leader,
+	// and the system's crash and recovery paths.
+	nodeID    func(i int) int
+	proc      func(i int) *simnet.Proc
+	leaderIdx func() int
+	crash     func(i int)
+	restart   func(i int)
 }
 
 // Options tweaks instance construction.
@@ -104,6 +118,12 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 		c.Start()
 		inst.Sys = c
 		inst.AcuerdoCluster = c
+		inst.Fabric = fabric
+		inst.nodeID = func(i int) int { return c.Replicas[i].Node.ID }
+		inst.proc = func(i int) *simnet.Proc { return c.Replicas[i].Node.Proc }
+		inst.leaderIdx = c.LeaderIdx
+		inst.crash = func(i int) { c.Replicas[i].Crash() }
+		inst.restart = func(i int) { c.Replicas[i].Restart() }
 		inst.setApply = func(apply func(int, []byte)) {
 			c.OnDeliver = func(replica int, hdr acuerdo.MsgHdr, payload []byte) {
 				apply(replica, payload)
@@ -119,6 +139,12 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 		c.Start()
 		inst.Sys = c
 		inst.DerechoCluster = c
+		inst.Fabric = fabric
+		inst.nodeID = func(i int) int { return c.Group.Node(i).ID }
+		inst.proc = func(i int) *simnet.Proc { return c.Group.Node(i).Proc }
+		inst.leaderIdx = c.LeaderIdx
+		inst.crash = c.Crash
+		inst.restart = c.Restart
 		inst.setApply = func(apply func(int, []byte)) {
 			c.OnDeliver = func(replica, sender int, idx uint64, payload []byte) {
 				apply(replica, payload)
@@ -129,6 +155,12 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 		c := apus.NewCluster(sim, fabric, apus.DefaultConfig(n))
 		c.Start()
 		inst.Sys = c
+		inst.Fabric = fabric
+		inst.nodeID = func(i int) int { return c.Node(i).ID }
+		inst.proc = func(i int) *simnet.Proc { return c.Node(i).Proc }
+		inst.leaderIdx = c.LeaderIdx
+		inst.crash = c.Crash
+		inst.restart = c.Restart
 		inst.setApply = func(apply func(int, []byte)) {
 			c.OnDeliver = func(replica int, idx uint64, payload []byte) {
 				apply(replica, payload)
@@ -139,6 +171,12 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 		c := paxos.NewCluster(sim, net, paxos.DefaultConfig(n))
 		c.Start()
 		inst.Sys = c
+		inst.Net = net
+		inst.nodeID = func(i int) int { return c.Node(i).ID }
+		inst.proc = func(i int) *simnet.Proc { return c.Node(i).Proc }
+		inst.leaderIdx = c.LeaderIdx
+		inst.crash = c.Crash
+		inst.restart = c.Restart
 		inst.setApply = func(apply func(int, []byte)) {
 			c.OnDeliver = func(replica int, inst uint64, payload []byte) {
 				apply(replica, payload)
@@ -149,6 +187,12 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 		c := zab.NewCluster(sim, net, zab.DefaultConfig(n))
 		c.Start()
 		inst.Sys = c
+		inst.Net = net
+		inst.nodeID = func(i int) int { return c.Node(i).ID }
+		inst.proc = func(i int) *simnet.Proc { return c.Node(i).Proc }
+		inst.leaderIdx = c.LeaderIdx
+		inst.crash = c.Crash
+		inst.restart = c.Restart
 		inst.setApply = func(apply func(int, []byte)) {
 			c.OnDeliver = func(replica int, zxid uint64, payload []byte) {
 				apply(replica, payload)
@@ -159,6 +203,12 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 		c := raft.NewCluster(sim, net, raft.DefaultConfig(n))
 		c.Start()
 		inst.Sys = c
+		inst.Net = net
+		inst.nodeID = func(i int) int { return c.Node(i).ID }
+		inst.proc = func(i int) *simnet.Proc { return c.Node(i).Proc }
+		inst.leaderIdx = c.LeaderIdx
+		inst.crash = c.Crash
+		inst.restart = c.Restart
 		inst.setApply = func(apply func(int, []byte)) {
 			c.OnDeliver = func(replica, idx int, payload []byte) {
 				apply(replica, payload)

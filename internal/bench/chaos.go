@@ -1,0 +1,333 @@
+// Chaos harness: runs any of the seven systems under a deterministic fault
+// schedule, with the abcast safety checker watching every delivery, an
+// availability probe measuring the client-visible cost of every fault, and
+// a no-progress watchdog turning permanent wedges (quorum loss, APUS after
+// leader death) into bounded, diagnosable exits instead of hung runs.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"acuerdo/internal/abcast"
+	"acuerdo/internal/chaos"
+	"acuerdo/internal/simnet"
+	"acuerdo/internal/trace"
+)
+
+// chaosTarget adapts an Instance to the chaos engine's control surface.
+// Link actions are given in replica-index space and translated to
+// interconnect node ids here, so plans are portable across systems whose
+// node-id layouts differ.
+type chaosTarget struct{ inst *Instance }
+
+// ChaosTarget exposes the instance's fault-control surface.
+func (inst *Instance) ChaosTarget() chaos.Target { return chaosTarget{inst} }
+
+func (t chaosTarget) Replicas() int                { return t.inst.N }
+func (t chaosTarget) Leader() int                  { return t.inst.leaderIdx() }
+func (t chaosTarget) Crash(i int)                  { t.inst.crash(i) }
+func (t chaosTarget) Restart(i int)                { t.inst.restart(i) }
+func (t chaosTarget) Pause(i int, d time.Duration) { t.inst.proc(i).Pause(d) }
+
+func (t chaosTarget) CutOneWay(i, j int) {
+	a, b := t.inst.nodeID(i), t.inst.nodeID(j)
+	if t.inst.Fabric != nil {
+		t.inst.Fabric.PartitionOneWay(a, b)
+	} else {
+		t.inst.Net.PartitionOneWay(a, b)
+	}
+}
+
+func (t chaosTarget) HealOneWay(i, j int) {
+	a, b := t.inst.nodeID(i), t.inst.nodeID(j)
+	if t.inst.Fabric != nil {
+		t.inst.Fabric.HealOneWay(a, b)
+	} else {
+		t.inst.Net.HealOneWay(a, b)
+	}
+}
+
+func (t chaosTarget) SetLoss(i, j int, p float64) {
+	a, b := t.inst.nodeID(i), t.inst.nodeID(j)
+	if t.inst.Fabric != nil {
+		t.inst.Fabric.SetLoss(a, b, p)
+	} else {
+		t.inst.Net.SetLoss(a, b, p)
+	}
+}
+
+func (t chaosTarget) SetLatencySpike(i, j int, d time.Duration) {
+	a, b := t.inst.nodeID(i), t.inst.nodeID(j)
+	if t.inst.Fabric != nil {
+		t.inst.Fabric.SetLatencySpike(a, b, d)
+	} else {
+		t.inst.Net.SetLatencySpike(a, b, d)
+	}
+}
+
+var _ chaos.Target = chaosTarget{}
+
+// ChaosConfig parameterizes one chaos run.
+type ChaosConfig struct {
+	Nodes   int
+	Seed    int64
+	Window  int
+	MsgSize int
+	// Settle is fault-free load before the schedule starts (a baseline the
+	// probe can compare against).
+	Settle time.Duration
+	// Horizon is the fault schedule's length; the scenario generator fits
+	// its actions inside it.
+	Horizon time.Duration
+	// Drain is fault-free time after the horizon for recoveries to finish.
+	Drain time.Duration
+	// GapThreshold is the smallest ack gap the probe reports as an
+	// unavailability window.
+	GapThreshold time.Duration
+	// WatchdogBudget is the no-progress budget; a run with no client ack
+	// for this much simulated time is stopped and reported as wedged.
+	WatchdogBudget time.Duration
+}
+
+// DefaultChaos returns the recovery benchmark's standard configuration.
+func DefaultChaos(nodes int, seed int64) ChaosConfig {
+	return ChaosConfig{
+		Nodes:          nodes,
+		Seed:           seed,
+		Window:         8,
+		MsgSize:        16,
+		Settle:         10 * time.Millisecond,
+		Horizon:        120 * time.Millisecond,
+		Drain:          40 * time.Millisecond,
+		GapThreshold:   2 * time.Millisecond,
+		WatchdogBudget: 80 * time.Millisecond,
+	}
+}
+
+// ChaosResult is one system's run under one fault schedule.
+type ChaosResult struct {
+	Kind Kind
+	Plan string
+	// Fingerprint is the trace hash; two runs from the same seed must
+	// match bit-for-bit.
+	Fingerprint uint64
+	// Acks is the number of client-visible commits over the whole run.
+	Acks int
+	// Fired is the engine's applied-action log.
+	Fired []chaos.Fired
+	// Recoveries holds the per-disruptive-fault MTTR measurements.
+	Recoveries []chaos.Recovery
+	// Windows/Unavail are the client-visible unavailability intervals over
+	// [fault start, run end] and their total.
+	Windows []chaos.Window
+	Unavail time.Duration
+	// Watchdog is non-nil when the run wedged and was stopped early.
+	Watchdog *simnet.WatchdogReport
+	// SafetyErr is the first abcast safety violation observed, if any.
+	SafetyErr error
+	// End is the simulated time the run finished (early if wedged).
+	End simnet.Time
+	// Elections holds Acuerdo's per-winner election durations (suspicion
+	// to win, diff transfer included — the Table 1 statistic) for
+	// elections won during the fault window. Empty for other systems.
+	Elections []time.Duration
+}
+
+// MeanMTTR returns the average recovery time over recovered faults, and
+// how many of the measured faults recovered at all.
+func (r ChaosResult) MeanMTTR() (time.Duration, int) {
+	var sum time.Duration
+	n := 0
+	for _, rec := range r.Recoveries {
+		if rec.Recovered {
+			sum += rec.MTTR
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / time.Duration(n), n
+}
+
+// MaxMTTR returns the worst recovery time over recovered faults.
+func (r ChaosResult) MaxMTTR() time.Duration {
+	var max time.Duration
+	for _, rec := range r.Recoveries {
+		if rec.Recovered && rec.MTTR > max {
+			max = rec.MTTR
+		}
+	}
+	return max
+}
+
+// RunScenario boots kind, warms it up, compiles the scenario's plan from
+// the simulator's seeded RNG, and drives closed-loop load across the fault
+// schedule. Everything downstream of the seed is deterministic: the same
+// (kind, scenario, cfg) yields the same fingerprint, the same fired log,
+// and the same table row.
+func RunScenario(kind Kind, sc chaos.Scenario, cfg ChaosConfig) ChaosResult {
+	tracer := trace.New(1 << 14)
+	sim := simnet.New(cfg.Seed)
+	inst := NewInstanceOn(sim, kind, cfg.Nodes, Options{Tracer: tracer})
+	for i := 0; i < 400 && !inst.Sys.Ready(); i++ {
+		sim.RunFor(5 * time.Millisecond)
+	}
+	if !inst.Sys.Ready() {
+		panic(fmt.Sprintf("chaos: %s/%d never became ready", kind, cfg.Nodes))
+	}
+	res := ChaosResult{Kind: kind, Plan: sc.Name}
+
+	// Safety: every delivery at every replica feeds the shared checker.
+	checker := abcast.NewChecker(cfg.Nodes)
+	inst.setApply(func(replica int, payload []byte) {
+		if len(payload) < 8 {
+			return
+		}
+		if err := checker.OnDeliver(replica, abcast.MsgID(payload)); err != nil && res.SafetyErr == nil {
+			res.SafetyErr = err
+		}
+	})
+
+	// Closed-loop client: cfg.Window outstanding requests; every ack is
+	// timestamped for the availability probe.
+	var acks []simnet.Time
+	if cfg.MsgSize < 8 {
+		cfg.MsgSize = 8
+	}
+	var nextID uint64
+	var submit func()
+	submit = func() {
+		if !inst.Sys.Ready() {
+			sim.After(50*time.Microsecond, submit)
+			return
+		}
+		nextID++
+		payload := make([]byte, cfg.MsgSize)
+		abcast.PutMsgID(payload, nextID)
+		checker.OnBroadcast(nextID)
+		inst.Sys.Submit(payload, func() {
+			acks = append(acks, sim.Now())
+			submit()
+		})
+	}
+	for i := 0; i < cfg.Window; i++ {
+		submit()
+	}
+
+	// Fault schedule, compiled from the simulator's own RNG.
+	plan := sc.Build(sim.Rand(), cfg.Nodes, cfg.Horizon)
+	if err := plan.Validate(cfg.Nodes); err != nil {
+		panic("chaos: " + err.Error())
+	}
+	faultStart := sim.Now().Add(cfg.Settle)
+	engine := chaos.NewEngine(sim, inst.ChaosTarget())
+	engine.Schedule(faultStart, plan)
+
+	// Watchdog on the ack stream: a wedged run (quorum gone, fixed leader
+	// dead) exits within one budget instead of spinning on heartbeats.
+	wd := simnet.NewWatchdog(sim, cfg.WatchdogBudget, func() int64 { return int64(len(acks)) }, nil)
+	sim.RunFor(cfg.Settle + cfg.Horizon + cfg.Drain)
+	wd.Stop()
+
+	res.End = sim.Now()
+	res.Acks = len(acks)
+	res.Fired = engine.Fired()
+	res.Recoveries = chaos.Recoveries(res.Fired, acks)
+	res.Windows, res.Unavail = chaos.Unavailability(acks, faultStart, res.End, cfg.GapThreshold)
+	// Refine each fault's MTTR with the outage window it opened: the raw
+	// "first ack at or after the fault" lands among acks of requests that
+	// were already committed when the fault fired (the in-flight drain),
+	// which under-reports recovery by orders of magnitude. A fault whose
+	// ack stream gapped within a couple of thresholds of its firing
+	// measures to that gap's close instead; a trailing gap that never
+	// closes (APUS after leader death) is a permanent outage.
+	for i := range res.Recoveries {
+		f := res.Recoveries[i].Fault
+		for _, w := range res.Windows {
+			if w.To < f.At || w.From > f.At.Add(2*cfg.GapThreshold) {
+				continue
+			}
+			res.Recoveries[i].RecoveredAt = w.To
+			res.Recoveries[i].MTTR = w.To.Sub(f.At)
+			res.Recoveries[i].Recovered = len(acks) > 0 && acks[len(acks)-1] >= w.To
+			break
+		}
+	}
+	if wd.Fired() {
+		rep := wd.Report()
+		res.Watchdog = &rep
+	}
+	if res.SafetyErr == nil {
+		res.SafetyErr = checker.CheckTotalOrder()
+	}
+	if c := inst.AcuerdoCluster; c != nil {
+		for _, r := range c.Replicas {
+			if r.WonAt >= faultStart {
+				res.Elections = append(res.Elections, r.WonAt.Sub(r.SuspectedAt))
+			}
+		}
+	}
+	res.Fingerprint = tracer.Fingerprint()
+	return res
+}
+
+// RunScenarioAll runs every listed system under the same scenario and
+// configuration (nil kinds = the full Figure 8 set).
+func RunScenarioAll(sc chaos.Scenario, cfg ChaosConfig, kinds []Kind) []ChaosResult {
+	if kinds == nil {
+		kinds = AllKinds
+	}
+	out := make([]ChaosResult, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, RunScenario(k, sc, cfg))
+	}
+	return out
+}
+
+// PrintRecoveryTable renders the cross-system recovery benchmark: per
+// system and scenario, how many faults fired, how many recovered, the mean
+// and worst client-visible MTTR, total unavailability, and whether the
+// run wedged (watchdog) or violated safety.
+func PrintRecoveryTable(w io.Writer, results []ChaosResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "system\tscenario\tacks\tfaults\trecovered\tmttr-mean\tmttr-max\tunavail\twedged\tsafety\tfingerprint\n")
+	for _, r := range results {
+		mean, n := r.MeanMTTR()
+		measured := len(r.Recoveries)
+		wedged := "-"
+		if r.Watchdog != nil {
+			wedged = fmt.Sprintf("at %v", r.Watchdog.FiredAt)
+		}
+		safety := "ok"
+		if r.SafetyErr != nil {
+			safety = "VIOLATION"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d/%d\t%.3fms\t%.3fms\t%.2fms\t%s\t%s\t%016x\n",
+			r.Kind, r.Plan, r.Acks, len(r.Fired), n, measured,
+			float64(mean)/1e6, float64(r.MaxMTTR())/1e6, float64(r.Unavail)/1e6,
+			wedged, safety, r.Fingerprint)
+	}
+	tw.Flush()
+}
+
+// PrintChaosDetail renders one result's fired-action log, unavailability
+// windows, and (when the run wedged) the watchdog's diagnostic dump.
+func PrintChaosDetail(w io.Writer, r ChaosResult) {
+	fmt.Fprintf(w, "%s under %s: %d acks, fingerprint %016x\n", r.Kind, r.Plan, r.Acks, r.Fingerprint)
+	for _, f := range r.Fired {
+		fmt.Fprintf(w, "  %v fired %s (node %d)\n", f.At, f.Action, f.Node)
+	}
+	for _, win := range r.Windows {
+		fmt.Fprintf(w, "  unavailable %v .. %v (%v)\n", win.From, win.To, win.Dur())
+	}
+	if r.Watchdog != nil {
+		fmt.Fprintf(w, "  %v\n", *r.Watchdog)
+	}
+	if r.SafetyErr != nil {
+		fmt.Fprintf(w, "  SAFETY: %v\n", r.SafetyErr)
+	}
+}

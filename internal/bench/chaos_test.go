@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"acuerdo/internal/chaos"
+)
+
+// shortChaos is a trimmed configuration the unit tests share: enough
+// simulated time for two leader-kill cycles on the slowest (TCP) systems,
+// small enough to keep the full seven-system sweep in test budget.
+func shortChaos(seed int64) ChaosConfig {
+	cfg := DefaultChaos(3, seed)
+	cfg.Horizon = 80 * time.Millisecond
+	cfg.Drain = 30 * time.Millisecond
+	return cfg
+}
+
+func storm() chaos.Scenario {
+	// 35ms between strikes, victim back after 10ms: the slowest system's
+	// detection (etcd's 10-20ms election timeout) fits inside a cycle.
+	return chaos.LeaderKillStorm(35*time.Millisecond, 10*time.Millisecond)
+}
+
+func flaky() chaos.Scenario {
+	return chaos.FlakyLink(0.3, 20*time.Microsecond, 10*time.Millisecond, 15*time.Millisecond)
+}
+
+// TestChaosDeterminism is the tentpole invariant: a chaos run is a pure
+// function of its seed. Two back-to-back runs of the same (system,
+// scenario, seed) must produce identical trace fingerprints, ack counts,
+// and fired-action logs.
+func TestChaosDeterminism(t *testing.T) {
+	kinds := AllKinds
+	if testing.Short() {
+		kinds = []Kind{Acuerdo, Zookeeper}
+	}
+	for _, kind := range kinds {
+		for _, sc := range []chaos.Scenario{storm(), flaky()} {
+			t.Run(string(kind)+"/"+sc.Name, func(t *testing.T) {
+				a := RunScenario(kind, sc, shortChaos(7))
+				b := RunScenario(kind, sc, shortChaos(7))
+				if a.Fingerprint != b.Fingerprint {
+					t.Fatalf("fingerprint diverged: %016x vs %016x", a.Fingerprint, b.Fingerprint)
+				}
+				if a.Acks != b.Acks || len(a.Fired) != len(b.Fired) {
+					t.Fatalf("run diverged: acks %d vs %d, fired %d vs %d",
+						a.Acks, b.Acks, len(a.Fired), len(b.Fired))
+				}
+				for i := range a.Fired {
+					if a.Fired[i] != b.Fired[i] {
+						t.Fatalf("fired action %d diverged: %+v vs %+v", i, a.Fired[i], b.Fired[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosDistinctSeeds guards the determinism check against vacuity:
+// different seeds must yield observably different runs.
+func TestChaosDistinctSeeds(t *testing.T) {
+	a := RunScenario(Acuerdo, flaky(), shortChaos(1))
+	b := RunScenario(Acuerdo, flaky(), shortChaos(2))
+	if a.Fingerprint == b.Fingerprint {
+		t.Fatal("different seeds produced identical fingerprints; the harness observes nothing")
+	}
+}
+
+// TestChaosSafetyUnderFaults runs every system under the two canonical
+// scenarios and requires the abcast checker to stay silent: no duplicate
+// delivery, no delivery of unsent messages, total order intact at every
+// replica — across crashes, elections, loss windows, and latency spikes.
+func TestChaosSafetyUnderFaults(t *testing.T) {
+	kinds := AllKinds
+	if testing.Short() {
+		kinds = []Kind{Acuerdo, DerechoLeader, Etcd, Zookeeper}
+	}
+	for _, kind := range kinds {
+		for _, sc := range []chaos.Scenario{storm(), flaky()} {
+			t.Run(string(kind)+"/"+sc.Name, func(t *testing.T) {
+				r := RunScenario(kind, sc, shortChaos(3))
+				if r.SafetyErr != nil {
+					t.Fatalf("safety violation: %v", r.SafetyErr)
+				}
+				if r.Acks == 0 {
+					t.Fatal("no client progress at all")
+				}
+				// Systems with a rejoin path must survive the storm
+				// indefinitely. APUS halts by design at the first leader
+				// kill (TestChaosApusHaltsGracefully); Derecho has no
+				// rejoin protocol, so cumulative kills eventually leave
+				// it below its majority rule and it halts rather than
+				// risk split brain.
+				if kind != Apus && kind != DerechoAll && kind != DerechoLeader && sc.Name == "leader-kill-storm" {
+					if r.Watchdog != nil {
+						t.Fatalf("run wedged: %v", *r.Watchdog)
+					}
+					if _, n := r.MeanMTTR(); n == 0 && len(r.Recoveries) > 0 {
+						t.Fatal("no measured fault ever recovered")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosAcuerdoRecoveryFast pins the paper's headline recovery claim:
+// under the leader-kill storm, Acuerdo's elections (suspicion to win, diff
+// transfer included) stay sub-millisecond, consistent with Table 1's
+// ~0.20ms quiet-cluster election. Client-visible MTTR adds the failure
+// detector's 4ms timeout on top, so it is bounded separately.
+func TestChaosAcuerdoRecoveryFast(t *testing.T) {
+	r := RunScenario(Acuerdo, storm(), shortChaos(5))
+	if r.SafetyErr != nil {
+		t.Fatalf("safety violation: %v", r.SafetyErr)
+	}
+	if len(r.Elections) == 0 {
+		t.Fatal("storm produced no elections")
+	}
+	for _, d := range r.Elections {
+		if d >= time.Millisecond {
+			t.Fatalf("election took %v, want sub-millisecond (Table 1: ~0.20ms)", d)
+		}
+	}
+	mean, n := r.MeanMTTR()
+	if n == 0 {
+		t.Fatal("no recovery measured")
+	}
+	if mean > 10*time.Millisecond {
+		t.Fatalf("mean MTTR %v implausibly high for a 4ms failure detector", mean)
+	}
+}
+
+// TestChaosWatchdogOnQuorumLoss is the acceptance scenario for the
+// no-progress watchdog: a permanent full-mesh partition leaves every
+// system unable to commit while heartbeat timers keep the event heap warm
+// forever. The run must terminate within the simulated-time budget (not
+// the full horizon) and name the stalled processes.
+func TestChaosWatchdogOnQuorumLoss(t *testing.T) {
+	cfg := shortChaos(11)
+	cfg.WatchdogBudget = 30 * time.Millisecond
+	sc := chaos.QuorumLossAndHeal(5*time.Millisecond, 0) // never heals
+	for _, kind := range []Kind{Acuerdo, Zookeeper} {
+		t.Run(string(kind), func(t *testing.T) {
+			r := RunScenario(kind, sc, cfg)
+			if r.Watchdog == nil {
+				t.Fatal("watchdog never fired on a permanently partitioned run")
+			}
+			horizon := cfg.Settle + cfg.Horizon + cfg.Drain
+			if time.Duration(r.End) >= horizon {
+				t.Fatalf("run went the full horizon %v instead of stopping at the watchdog", horizon)
+			}
+			if len(r.Watchdog.Stalled) == 0 {
+				t.Fatalf("watchdog report names no stalled processes: %v", *r.Watchdog)
+			}
+			if r.SafetyErr != nil {
+				t.Fatalf("safety violation while partitioned: %v", r.SafetyErr)
+			}
+		})
+	}
+}
+
+// TestChaosQuorumHealRecovers is the counterpart: the same full-mesh cut,
+// healed before the watchdog budget, must let the system resume and the
+// probe must report the outage as a bounded unavailability window.
+func TestChaosQuorumHealRecovers(t *testing.T) {
+	cfg := shortChaos(13)
+	sc := chaos.QuorumLossAndHeal(5*time.Millisecond, 25*time.Millisecond)
+	r := RunScenario(Acuerdo, sc, cfg)
+	if r.Watchdog != nil {
+		t.Fatalf("watchdog fired despite the heal: %v", *r.Watchdog)
+	}
+	if r.SafetyErr != nil {
+		t.Fatalf("safety violation: %v", r.SafetyErr)
+	}
+	if r.Unavail == 0 {
+		t.Fatal("probe saw no unavailability across a 25ms total partition")
+	}
+	if len(r.Windows) == 0 {
+		t.Fatal("no unavailability window reported")
+	}
+}
+
+// TestChaosApusHaltsGracefully pins the APUS degradation contract: killing
+// the fixed leader permanently halts the system — the watchdog reports the
+// wedge (bounded exit, leader listed among the down processes), the probe
+// reports the fault as never recovered, and no safety property is violated
+// on the way down.
+func TestChaosApusHaltsGracefully(t *testing.T) {
+	cfg := shortChaos(17)
+	cfg.WatchdogBudget = 30 * time.Millisecond
+	r := RunScenario(Apus, storm(), cfg)
+	if r.SafetyErr != nil {
+		t.Fatalf("safety violation: %v", r.SafetyErr)
+	}
+	if r.Watchdog == nil {
+		t.Fatal("watchdog never fired after the fixed leader died")
+	}
+	if len(r.Watchdog.Down) == 0 {
+		t.Fatalf("watchdog report lists nothing down: %v", *r.Watchdog)
+	}
+	unrecovered := false
+	for _, rec := range r.Recoveries {
+		if !rec.Recovered {
+			unrecovered = true
+		}
+	}
+	if !unrecovered {
+		t.Fatal("probe reports every fault recovered; leader death should be permanent")
+	}
+}

@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"time"
+
+	"acuerdo/internal/simnet"
+)
+
+// The availability probe is pure post-processing: it correlates the
+// client-visible ack stream (timestamps of successful deliveries observed
+// by clients) with the engine's fired-action log, turning "what faults
+// fired" plus "when did clients make progress" into per-fault recovery
+// times and unavailability windows. It runs after the simulation, so it
+// cannot perturb determinism.
+
+// Recovery measures the client-visible effect of one disruptive fault.
+type Recovery struct {
+	// Fault is the fired action this recovery is attributed to.
+	Fault Fired
+	// Recovered reports whether any ack followed the fault before the
+	// run ended (false = permanent unavailability, e.g. APUS after
+	// leader death).
+	Recovered bool
+	// RecoveredAt is the first ack at or after the fault.
+	RecoveredAt simnet.Time
+	// MTTR is RecoveredAt - Fault.At: how long clients waited, end to
+	// end, including failure detection.
+	MTTR time.Duration
+}
+
+// Recoveries computes one Recovery per disruptive fired action. acks must
+// be ascending ack timestamps. A fault that fires while the system is
+// already recovering from an earlier one is still measured from its own
+// fire time.
+func Recoveries(fired []Fired, acks []simnet.Time) []Recovery {
+	var out []Recovery
+	j := 0
+	for _, f := range fired {
+		if !f.Action.Disruptive() {
+			continue
+		}
+		// A crash action that resolved to no node (no leader, already
+		// down) disrupted nothing measurable.
+		if (f.Action.Kind == ACrash || f.Action.Kind == APause) && f.Node < 0 {
+			continue
+		}
+		for j < len(acks) && acks[j] < f.At {
+			j++
+		}
+		r := Recovery{Fault: f}
+		// Scan forward from j without consuming it: overlapping faults
+		// each measure from their own start.
+		if k := j; k < len(acks) {
+			r.Recovered = true
+			r.RecoveredAt = acks[k]
+			r.MTTR = r.RecoveredAt.Sub(f.At)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Window is a client-visible unavailability interval.
+type Window struct {
+	From, To simnet.Time
+}
+
+// Dur returns the window's length.
+func (w Window) Dur() time.Duration { return w.To.Sub(w.From) }
+
+// Unavailability finds every gap in the ack stream longer than threshold
+// over [start, end], including a leading gap before the first ack and a
+// trailing gap after the last. It returns the windows and their total.
+func Unavailability(acks []simnet.Time, start, end simnet.Time, threshold time.Duration) ([]Window, time.Duration) {
+	var windows []Window
+	var total time.Duration
+	prev := start
+	emit := func(from, to simnet.Time) {
+		if to.Sub(from) > threshold {
+			windows = append(windows, Window{From: from, To: to})
+			total += to.Sub(from)
+		}
+	}
+	for _, a := range acks {
+		if a < start {
+			prev = a
+			continue
+		}
+		if a > end {
+			break
+		}
+		emit(prev, a)
+		prev = a
+	}
+	emit(prev, end)
+	return windows, total
+}

@@ -27,6 +27,7 @@ type Cluster struct {
 	ackIn  []*ringbuf.Receiver
 
 	pending map[uint64]func()
+	target  map[uint64]int // in-flight request -> member it was sent to
 	rr      int
 
 	// OnDeliver observes every data delivery at every member.
@@ -35,7 +36,11 @@ type Cluster struct {
 
 // NewCluster builds a Derecho group plus client on the fabric.
 func NewCluster(sim *simnet.Sim, fabric *rdma.Fabric, cfg Config) *Cluster {
-	c := &Cluster{Sim: sim, Fabric: fabric, pending: make(map[uint64]func())}
+	c := &Cluster{
+		Sim: sim, Fabric: fabric,
+		pending: make(map[uint64]func()),
+		target:  make(map[uint64]int),
+	}
 	c.Group = NewGroup(sim, fabric, cfg)
 	c.client = fabric.AddNode("derecho-client")
 	ringCfg := ringbuf.Config{Bytes: 1 << 20, Backlog: true}
@@ -68,6 +73,14 @@ func (c *Cluster) Start() {
 		i := i
 		c.Group.Node(i).Proc.PollLoop(c.Group.Cfg.PollInterval, 100*time.Nanosecond, func() {
 			for _, req := range c.reqIn[i].Poll(0) {
+				if len(req) >= 8 && c.Group.DeliveredAt(i, abcast.MsgID(req)) {
+					// Retry of a message that survived a view change (its
+					// dead sender never acked it): re-ack, don't remulticast.
+					if _, err := c.ackOut[i].Send(c.client.ID, req[:8]); err != nil {
+						panic("derecho: client ack failed: " + err.Error())
+					}
+					continue
+				}
 				c.Group.Submit(i, req)
 			}
 			c.reqIn[i].ReturnCredits()
@@ -79,6 +92,7 @@ func (c *Cluster) Start() {
 				id := abcast.MsgID(ack)
 				if done, ok := c.pending[id]; ok {
 					delete(c.pending, id)
+					delete(c.target, id)
 					if done != nil {
 						done()
 					}
@@ -133,6 +147,7 @@ func (c *Cluster) send(id uint64, payload []byte) {
 		target = members[c.rr%len(members)]
 		c.rr++
 	}
+	c.target[id] = target
 	c.client.Proc.Pause(300 * time.Nanosecond)
 	if _, err := c.reqOut.Send(c.Group.Node(target).ID, payload); err != nil {
 		panic("derecho: request send failed: " + err.Error())
@@ -140,10 +155,53 @@ func (c *Cluster) send(id uint64, payload []byte) {
 	c.Sim.After(10*time.Millisecond, func() { c.retry(id, payload) })
 }
 
+// retry re-sends an unacknowledged request, but only once its member has
+// crashed AND the view has moved past it: a live member never loses a
+// queued request (it holds it across a wedge), and re-sending before the
+// ragged trim settles could double-deliver a message that made the trim.
+// After the view change the member-side delivered-id check absorbs the
+// survivors.
 func (c *Cluster) retry(id uint64, payload []byte) {
-	if _, ok := c.pending[id]; ok {
-		c.send(id, payload)
+	if _, ok := c.pending[id]; !ok {
+		return // acknowledged
 	}
+	t, ok := c.target[id]
+	if ok && !c.Group.Node(t).Crashed() {
+		// Still in a live member's hands; keep waiting.
+		c.Sim.After(time.Millisecond, func() { c.retry(id, payload) })
+		return
+	}
+	if ok {
+		for _, m := range c.Group.Members(c.liveProbe()) {
+			if m == t {
+				// Crashed but the survivors have not excluded it yet.
+				c.Sim.After(time.Millisecond, func() { c.retry(id, payload) })
+				return
+			}
+		}
+	}
+	c.send(id, payload)
 }
+
+// LeaderIdx returns the current view leader if it is alive, else -1 (view
+// change in progress). For the chaos engine's Leader sentinel.
+func (c *Cluster) LeaderIdx() int {
+	s := c.Group.Sender(c.liveProbe())
+	if s >= 0 && !c.Group.Node(s).Crashed() {
+		return s
+	}
+	return -1
+}
+
+// Crash fail-stops member i; the survivors wedge, agree on the ragged
+// trim, and continue in a shrunken view.
+func (c *Cluster) Crash(i int) { c.Group.Node(i).Crash() }
+
+// Restart is deliberately a no-op: this model implements Derecho's
+// failure path (view change, ragged trim) but not its join protocol, so a
+// removed member stays out and the group keeps running in the shrunken
+// view. A restarted replica rejoining would need a state-transfer round
+// this reproduction does not model.
+func (c *Cluster) Restart(i int) {}
 
 var _ abcast.System = (*Cluster)(nil)

@@ -147,8 +147,9 @@ type node struct {
 	members []int // live membership, ascending
 	wedged  bool
 
-	recv     []uint64 // receipt counters (includes nulls and view msgs)
-	pend     [][]pmsg // per sender: undelivered messages (absolute idx order)
+	recv     []uint64        // receipt counters (includes nulls and view msgs)
+	deliv    map[uint64]bool // data message ids delivered here (client dedup)
+	pend     [][]pmsg        // per sender: undelivered messages (absolute idx order)
 	nd       []uint64 // per sender: next index to deliver (1-based)
 	rotPos   int      // rotation position within members
 	sendQ    [][]byte // data payloads awaiting ring capacity
@@ -199,6 +200,7 @@ func NewGroup(sim *simnet.Sim, fabric *rdma.Fabric, cfg Config) *Group {
 		g.nodes[i] = &node{
 			g: g, id: i, rn: rnodes[i], tab: tabs[i],
 			members:  members,
+			deliv:    make(map[uint64]bool),
 			recv:     make([]uint64, cfg.N),
 			pend:     make([][]pmsg, cfg.N),
 			nd:       make([]uint64, cfg.N),
@@ -254,15 +256,25 @@ func (g *Group) Sender(i int) int {
 }
 
 // Submit enqueues payload for multicast from member i (must be a live
-// member; in leader mode i must be the view leader).
+// member; in leader mode i must be the view leader). A wedged member queues
+// the payload and sends it once the next view installs, so a request is
+// only ever lost when its member crashes.
 func (g *Group) Submit(i int, payload []byte) {
 	nd := g.nodes[i]
-	if nd.rn.Crashed() || nd.wedged {
+	if nd.rn.Crashed() {
 		return
 	}
 	nd.sendQ = append(nd.sendQ, append([]byte(nil), payload...))
-	nd.trySend()
+	if !nd.wedged {
+		nd.trySend()
+	}
 }
+
+// DeliveredAt reports whether member i has delivered data message id. The
+// client layer uses it to absorb retries of messages that survived a view
+// change (a crashed sender's stable messages deliver everywhere, but its
+// death means no acknowledgment was ever sent).
+func (g *Group) DeliveredAt(i int, id uint64) bool { return g.nodes[i].deliv[id] }
 
 func (nd *node) isMember(j int) bool {
 	for _, m := range nd.members {
@@ -442,6 +454,9 @@ func (nd *node) deliver() {
 		nd.rotPos++
 		if pm.kind == kData {
 			nd.rn.Proc.Pause(nd.g.Cfg.PerMsgCost)
+			if len(pm.payload) >= 8 {
+				nd.deliv[binary.LittleEndian.Uint64(pm.payload)] = true
+			}
 			if tr := nd.g.Sim.Tracer(); tr != nil {
 				now := int64(nd.g.Sim.Now())
 				if s == nd.id {
@@ -529,7 +544,16 @@ func (nd *node) tryInstallView() {
 			live = append(live, m)
 		}
 	}
-	if len(live) == 0 || live[0] != nd.id {
+	// Partitioning rule: the next view must contain a majority of the
+	// current one, otherwise a full-mesh partition would let each isolated
+	// fragment trim and deliver its own divergent order (split brain). A
+	// minority fragment stays wedged instead; if the links later heal (a
+	// partition, not a crash), heartbeats revive the full membership and
+	// the view change proceeds with everyone aboard.
+	if len(live) <= len(nd.members)/2 {
+		return
+	}
+	if live[0] != nd.id {
 		return // not the view-change leader
 	}
 	for _, m := range live {
@@ -636,8 +660,13 @@ func (nd *node) installView(view uint32, members []int, trim []uint64) {
 		nd.pend[s] = nd.pend[s][1:]
 		nd.nd[s] = idx + 1
 		nd.rotPos++
-		if pm.kind == kData && nd.g.OnDeliver != nil {
-			nd.g.OnDeliver(nd.id, s, idx, pm.payload)
+		if pm.kind == kData {
+			if len(pm.payload) >= 8 {
+				nd.deliv[binary.LittleEndian.Uint64(pm.payload)] = true
+			}
+			if nd.g.OnDeliver != nil {
+				nd.g.OnDeliver(nd.id, s, idx, pm.payload)
+			}
 		}
 	}
 	// Discard beyond-trim messages from senders outside the new view; a

@@ -48,6 +48,8 @@ const (
 	mPrepare               // new proposer -> acceptors (phase 1a)
 	mPromise               // acceptor -> proposer (phase 1b)
 	mPing
+	mLearnReq // restarted learner -> peers: chosen values from my frontier
+	mLearn    // peer -> restarted learner: chosen records
 )
 
 type acceptedVal struct {
@@ -82,6 +84,12 @@ type Server struct {
 	preparing  bool
 	lastPing   simnet.Time
 	highestIns uint64
+
+	// Duplicate suppression: ids this proposer has queued/proposed in its
+	// current reign (cleared on step-down so an unchosen value can be
+	// re-proposed after failover) and ids this learner has delivered.
+	seenIDs      map[uint64]bool
+	deliveredIDs map[uint64]bool
 }
 
 // Cluster is a libpaxos deployment plus a client host.
@@ -112,11 +120,13 @@ func NewCluster(sim *simnet.Sim, net *tcpnet.Net, cfg Config) *Cluster {
 	for i := 0; i < cfg.N; i++ {
 		c.Servers[i] = &Server{
 			c: c, id: i, node: nodes[i],
-			accepted: make(map[uint64]acceptedVal),
-			learned:  make(map[uint64]map[int]uint64),
-			chosen:   make(map[uint64][]byte),
-			inFlight: make(map[uint64][]byte),
-			promises: make(map[int][]byte),
+			accepted:     make(map[uint64]acceptedVal),
+			learned:      make(map[uint64]map[int]uint64),
+			chosen:       make(map[uint64][]byte),
+			inFlight:     make(map[uint64][]byte),
+			promises:     make(map[int][]byte),
+			seenIDs:      make(map[uint64]bool),
+			deliveredIDs: make(map[uint64]bool),
 		}
 	}
 	for i, s := range c.Servers {
@@ -178,9 +188,20 @@ func enc(kind byte, ballot, inst uint64, from int, payload []byte) []byte {
 
 // submit handles a client value at this server's proposer.
 func (s *Server) submit(payload []byte) {
-	if !s.leading || s.preparing {
+	if !s.leading || s.preparing || len(payload) < 8 {
 		return // client retries
 	}
+	id := abcast.MsgID(payload)
+	if s.deliveredIDs[id] {
+		// Retry of a value already chosen and delivered (its ack died with
+		// an old proposer): re-ack, never start a second instance.
+		s.c.toClient[s.id].Send(payload[:8])
+		return
+	}
+	if s.seenIDs[id] {
+		return // already queued or in flight this reign
+	}
+	s.seenIDs[id] = true
 	s.queue = append(s.queue, append([]byte(nil), payload...))
 	s.pump()
 }
@@ -221,8 +242,28 @@ func (s *Server) handle(m []byte) {
 	case mPromise:
 		s.onPromise(ballot, from, payload)
 	case mPing:
+		if s.leading && ballot > s.ballot {
+			s.stepDown()
+		}
 		s.lastPing = s.c.Sim.Now()
+	case mLearnReq:
+		s.onLearnReq(inst, from)
+	case mLearn:
+		s.onLearn(payload)
 	}
+}
+
+// stepDown demotes a deposed proposer: a higher ballot won, so this reign's
+// queue and in-flight set are abandoned (clients retry to the new proposer;
+// the seen set is cleared so an unchosen value can be proposed again).
+func (s *Server) stepDown() {
+	s.leading = false
+	s.preparing = false
+	s.queue = nil
+	s.inFlight = make(map[uint64][]byte)
+	s.seenIDs = make(map[uint64]bool)
+	s.lastPing = s.c.Sim.Now()
+	s.armFailover()
 }
 
 // onAccept is phase 2a at the acceptor: accept if the ballot is current and
@@ -291,6 +332,9 @@ func (s *Server) deliver() {
 			}
 			tr.Instant(trace.KDeliver, s.id, now, trace.ID(payload), int64(inst))
 			tr.Add(trace.CtrDelivers, 1)
+		}
+		if len(payload) >= 8 {
+			s.deliveredIDs[abcast.MsgID(payload)] = true
 		}
 		if s.c.OnDeliver != nil {
 			s.c.OnDeliver(s.id, inst, payload)
@@ -365,6 +409,9 @@ func (s *Server) onPrepare(ballot, fromInst uint64, from int) {
 	if ballot < s.promised {
 		return
 	}
+	if s.leading && from != s.id && ballot > s.ballot {
+		s.stepDown()
+	}
 	s.promised = ballot
 	var insts []uint64
 	for inst := range s.accepted {
@@ -428,11 +475,85 @@ func (s *Server) onPromise(ballot uint64, from int, payload []byte) {
 		if inst >= s.nextInst {
 			s.nextInst = inst + 1
 		}
+		if len(av.payload) >= 8 {
+			// Re-driven values are in flight under this reign; a client
+			// retry for one must not open a second instance.
+			s.seenIDs[abcast.MsgID(av.payload)] = true
+		}
 		s.inFlight[inst] = av.payload
 		s.broadcast(enc(mAccept, s.ballot, inst, s.id, av.payload))
 		s.onAccept(s.ballot, inst, av.payload)
 	}
 	s.pump()
+}
+
+// --- learner catch-up and fault injection (chaos engine surface) ---
+
+// onLearnReq answers a restarted learner with every chosen value at or
+// above its delivery frontier, in instance order.
+func (s *Server) onLearnReq(fromInst uint64, from int) {
+	var insts []uint64
+	for inst := range s.chosen {
+		if inst >= fromInst {
+			insts = append(insts, inst)
+		}
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	var buf []byte
+	for _, inst := range insts {
+		pl := s.chosen[inst]
+		rec := make([]byte, 12+len(pl))
+		binary.LittleEndian.PutUint64(rec, inst)
+		binary.LittleEndian.PutUint32(rec[8:], uint32(len(pl)))
+		copy(rec[12:], pl)
+		buf = append(buf, rec...)
+	}
+	if len(buf) > 0 {
+		s.send(from, enc(mLearn, 0, 0, s.id, buf))
+	}
+}
+
+// onLearn adopts chosen values reported by a peer, filling the instance
+// gaps a crash opened, and resumes in-order delivery.
+func (s *Server) onLearn(payload []byte) {
+	for off := 0; off+12 <= len(payload); {
+		inst := binary.LittleEndian.Uint64(payload[off:])
+		ln := int(binary.LittleEndian.Uint32(payload[off+8:]))
+		pl := payload[off+12 : off+12+ln]
+		if _, ok := s.chosen[inst]; !ok {
+			s.chosen[inst] = append([]byte(nil), pl...)
+		}
+		off += 12 + ln
+	}
+	s.deliver()
+}
+
+// Node returns replica i's transport endpoint.
+func (c *Cluster) Node(i int) *tcpnet.Node { return c.Servers[i].node }
+
+// Crash fail-stops replica i.
+func (c *Cluster) Crash(i int) { c.Servers[i].node.Crash() }
+
+// Restart recovers a crashed replica as a non-leading
+// acceptor/learner. Acceptor state (promised, accepted) survives, the
+// proposer role does not: clients fail over to a live proposer. The
+// learner closes the instance gap its downtime opened by asking peers
+// for chosen values from its delivery frontier, then re-arms failover.
+func (c *Cluster) Restart(i int) {
+	s := c.Servers[i]
+	if !s.node.Crashed() {
+		return
+	}
+	s.node.Recover()
+	s.leading = false
+	s.preparing = false
+	s.queue = nil
+	s.inFlight = make(map[uint64][]byte)
+	s.promises = make(map[int][]byte)
+	s.seenIDs = make(map[uint64]bool)
+	s.lastPing = c.Sim.Now()
+	s.broadcast(enc(mLearnReq, 0, s.delivered, s.id, nil))
+	s.armFailover()
 }
 
 // --- cluster client API ---

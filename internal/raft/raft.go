@@ -92,6 +92,13 @@ type Server struct {
 	persistBusy bool
 	persistCBs  []func()
 
+	// Duplicate suppression across leader changes: ids present in the
+	// local log and ids already applied. A client that retries because
+	// its ack died with the old leader must not get its payload
+	// appended twice (No-Duplication).
+	seen       map[uint64]bool
+	appliedIDs map[uint64]bool
+
 	timerGen  int
 	lastHeard simnet.Time
 }
@@ -124,9 +131,11 @@ func NewCluster(sim *simnet.Sim, net *tcpnet.Net, cfg Config) *Cluster {
 	for i := 0; i < cfg.N; i++ {
 		c.Servers[i] = &Server{
 			c: c, id: i, node: nodes[i],
-			votedFor:  -1,
-			nextIndex: make([]int, cfg.N),
-			inflight:  make([]bool, cfg.N),
+			votedFor:   -1,
+			nextIndex:  make([]int, cfg.N),
+			inflight:   make([]bool, cfg.N),
+			seen:       make(map[uint64]bool),
+			appliedIDs: make(map[uint64]bool),
 		}
 	}
 	for i, s := range c.Servers {
@@ -282,6 +291,12 @@ func (s *Server) becomeLeader() {
 	if tr := s.c.Sim.Tracer(); tr != nil {
 		tr.Instant(trace.KElectWin, s.id, int64(s.c.Sim.Now()), int64(s.term), 0)
 	}
+	// Commit barrier (Raft §5.4.2): a leader only counts replicas for
+	// entries of its own term, so append a no-op to drive commitment of
+	// any entries inherited from dead leaders. No-ops carry no payload
+	// and are invisible to the application.
+	s.log = append(s.log, entry{term: s.term})
+	s.persist(len(s.log), func() { s.advanceCommit() })
 	s.heartbeat()
 }
 
@@ -395,6 +410,11 @@ func (s *Server) onAppend(m []byte) {
 		appended := false
 		if idx < len(s.log) {
 			if s.log[idx].term != e.term {
+				for _, dead := range s.log[idx:] {
+					if len(dead.payload) >= 8 {
+						delete(s.seen, abcast.MsgID(dead.payload))
+					}
+				}
 				s.log = s.log[:idx]
 				if s.persisted > idx {
 					s.persisted = idx
@@ -407,6 +427,9 @@ func (s *Server) onAppend(m []byte) {
 			appended = true
 		}
 		if appended {
+			if len(e.payload) >= 8 {
+				s.seen[abcast.MsgID(e.payload)] = true
+			}
 			if tr := s.c.Sim.Tracer(); tr != nil {
 				tr.Instant(trace.KAccept, s.id, int64(s.c.Sim.Now()), trace.ID(e.payload), int64(idx))
 				tr.Add(trace.CtrAccepts, 1)
@@ -518,6 +541,10 @@ func (s *Server) apply() {
 	for s.applied < s.commit {
 		e := s.log[s.applied]
 		s.applied++
+		if len(e.payload) < 8 {
+			continue // election no-op barrier: invisible to the application
+		}
+		s.appliedIDs[abcast.MsgID(e.payload)] = true
 		if tr := s.c.Sim.Tracer(); tr != nil {
 			now := int64(s.c.Sim.Now())
 			if s.role == leader {
@@ -530,7 +557,7 @@ func (s *Server) apply() {
 		if s.c.OnDeliver != nil {
 			s.c.OnDeliver(s.id, s.applied, e.payload)
 		}
-		if s.role == leader && len(e.payload) >= 8 {
+		if s.role == leader {
 			s.c.toClient[s.id].Send(e.payload[:8])
 		}
 	}
@@ -541,10 +568,21 @@ func (s *Server) propose(payload []byte) {
 	if s.role != leader {
 		return // client retries
 	}
+	id := abcast.MsgID(payload)
+	if s.appliedIDs[id] {
+		// Already committed and applied; the original ack died with a
+		// previous leader. Re-ack, don't re-append.
+		s.c.toClient[s.id].Send(payload[:8])
+		return
+	}
+	if s.seen[id] {
+		return // already in the log, still in flight
+	}
 	s.node.Proc.Run(s.c.cfg.LeaderOpCost, func() {
-		if s.role != leader {
+		if s.role != leader || s.seen[id] || s.appliedIDs[id] {
 			return
 		}
+		s.seen[id] = true
 		s.log = append(s.log, entry{term: s.term, payload: append([]byte(nil), payload...)})
 		if tr := s.c.Sim.Tracer(); tr != nil {
 			tr.Instant(trace.KPropose, s.id, int64(s.c.Sim.Now()), trace.ID(payload), int64(len(s.log)))
@@ -559,6 +597,46 @@ func (s *Server) propose(payload []byte) {
 			}
 		})
 	})
+}
+
+// --- fault injection ---
+
+// Node returns replica i's transport host (for fault injection).
+func (c *Cluster) Node(i int) *tcpnet.Node { return c.Servers[i].node }
+
+// Crash kills replica i: its process stops and in-flight messages to it
+// are dropped.
+func (c *Cluster) Crash(i int) { c.Servers[i].node.Crash() }
+
+// Restart recovers a crashed replica as a follower. Entries that were
+// never fsynced are lost (etcd restarts from its WAL); the log prefix the
+// replica applied is retained, and Raft's nextIndex backtracking catches
+// the replica up from the current leader.
+func (c *Cluster) Restart(i int) {
+	s := c.Servers[i]
+	if !s.node.Crashed() {
+		return
+	}
+	s.node.Recover()
+	// Crash interrupts an in-flight fsync: its callbacks are gone.
+	s.persistBusy = false
+	s.persistCBs = nil
+	if s.persisted < s.applied {
+		s.persisted = s.applied
+	}
+	for _, dead := range s.log[s.persisted:] {
+		if len(dead.payload) >= 8 {
+			delete(s.seen, abcast.MsgID(dead.payload))
+		}
+	}
+	s.log = s.log[:s.persisted]
+	if s.commit > s.persisted {
+		s.commit = s.persisted
+	}
+	s.role = follower
+	s.votes = 0
+	s.lastHeard = c.Sim.Now()
+	s.resetTimer()
 }
 
 // --- cluster client API ---

@@ -1,0 +1,169 @@
+package rdma
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// One-way cut semantics: cutting a→b parks a's payloads while b→a traffic
+// keeps flowing, and HealOneWay redelivers the parked payloads in order.
+func TestPartitionOneWayBlocksOnlyThatDirection(t *testing.T) {
+	sim, f := testFabric(2)
+	a, b := f.Node(0), f.Node(1)
+	mrB := b.RegisterMemory(64)
+	mrA := a.RegisterMemory(64)
+	qpAB := a.Connect(b, NewCQ())
+	qpBA := b.Connect(a, NewCQ())
+
+	f.PartitionOneWay(0, 1)
+	if !f.CutOneWay(0, 1) || f.CutOneWay(1, 0) {
+		t.Fatal("expected only the 0→1 direction cut")
+	}
+	if !f.Partitioned(0, 1) {
+		t.Fatal("Partitioned must report a one-way cut")
+	}
+	if _, err := qpAB.Write(mrB, 0, []byte("ab1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qpAB.Write(mrB, 8, []byte("ab2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qpBA.Write(mrA, 0, []byte("ba")); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(time.Millisecond)
+	if bytes.Contains(mrB.Buf, []byte("ab1")) {
+		t.Fatal("payload crossed a cut direction")
+	}
+	if !bytes.Equal(mrA.Buf[0:2], []byte("ba")) {
+		t.Fatal("reverse direction was blocked by a one-way cut")
+	}
+
+	f.HealOneWay(0, 1)
+	sim.RunFor(time.Millisecond)
+	if !bytes.Equal(mrB.Buf[0:3], []byte("ab1")) || !bytes.Equal(mrB.Buf[8:11], []byte("ab2")) {
+		t.Fatalf("parked writes not redelivered after heal: %q", mrB.Buf[:16])
+	}
+}
+
+// An in-flight write posted before a reverse-direction cut still lands
+// (the payload is already on the wire), but its completion — whose ack
+// travels the cut direction — parks until the direction heals.
+func TestOneWayCutParksInFlightCompletion(t *testing.T) {
+	sim, f := testFabric(2)
+	a, b := f.Node(0), f.Node(1)
+	mrB := b.RegisterMemory(64)
+	cq := NewCQ()
+	qp := a.Connect(b, cq)
+
+	if _, err := qp.WriteSignaled(mrB, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the ack path (b→a) while the payload is still in flight a→b.
+	f.PartitionOneWay(1, 0)
+	sim.RunFor(time.Millisecond)
+	if mrB.Buf[0] != 'x' {
+		t.Fatal("in-flight payload should land despite the reverse cut")
+	}
+	if n := cq.Len(); n != 0 {
+		t.Fatalf("completion crossed the cut ack path: %d entries", n)
+	}
+
+	f.HealOneWay(1, 0)
+	sim.RunFor(time.Millisecond)
+	comps := cq.Poll()
+	if len(comps) != 1 || comps[0].Status != OK {
+		t.Fatalf("parked completion not flushed on heal: %+v", comps)
+	}
+}
+
+// A p=1 loss window delays delivery by exactly maxRetransmits retransmit
+// rounds per transmission; data is never dropped or reordered.
+func TestLossWindowDelaysButNeverDrops(t *testing.T) {
+	sim, f := testFabric(2)
+	a, b := f.Node(0), f.Node(1)
+	mrB := b.RegisterMemory(64)
+	qp := a.Connect(b, NewCQ())
+
+	f.SetLossOneWay(0, 1, 1.0)
+	if _, err := qp.Write(mrB, 0, []byte("lossy")); err != nil {
+		t.Fatal(err)
+	}
+	penalty := time.Duration(maxRetransmits) * f.Params.RetransmitDelay
+	sim.RunFor(penalty - time.Microsecond)
+	if bytes.Contains(mrB.Buf, []byte("lossy")) {
+		t.Fatal("delivery did not pay the retransmit penalty")
+	}
+	sim.RunFor(penalty)
+	if !bytes.Equal(mrB.Buf[0:5], []byte("lossy")) {
+		t.Fatalf("loss window dropped data: %q", mrB.Buf[:8])
+	}
+
+	// Clearing the window restores normal latency.
+	f.SetLossOneWay(0, 1, 0)
+	if _, err := qp.Write(mrB, 8, []byte("clean")); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(10 * time.Microsecond)
+	if !bytes.Equal(mrB.Buf[8:13], []byte("clean")) {
+		t.Fatal("delivery still delayed after loss window cleared")
+	}
+}
+
+// A latency spike adds its delta to one direction only and clears cleanly.
+func TestLatencySpikeOneWay(t *testing.T) {
+	sim, f := testFabric(2)
+	a, b := f.Node(0), f.Node(1)
+	mrB := b.RegisterMemory(64)
+	qp := a.Connect(b, NewCQ())
+
+	spike := 500 * time.Microsecond
+	f.SetLatencySpikeOneWay(0, 1, spike)
+	if _, err := qp.Write(mrB, 0, []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(spike - time.Microsecond)
+	if bytes.Contains(mrB.Buf, []byte("slow")) {
+		t.Fatal("spiked write arrived before the spike delay")
+	}
+	sim.RunFor(2 * spike)
+	if !bytes.Equal(mrB.Buf[0:4], []byte("slow")) {
+		t.Fatal("spiked write never arrived")
+	}
+
+	f.SetLatencySpikeOneWay(0, 1, 0)
+	if _, err := qp.Write(mrB, 8, []byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(10 * time.Microsecond)
+	if !bytes.Equal(mrB.Buf[8:12], []byte("fast")) {
+		t.Fatal("write still delayed after spike cleared")
+	}
+}
+
+// A read whose response path is cut mid-flight parks the data completion
+// until the direction heals.
+func TestReadResponseParksBehindReverseCut(t *testing.T) {
+	sim, f := testFabric(2)
+	a, b := f.Node(0), f.Node(1)
+	mrB := b.RegisterMemory(64)
+	copy(mrB.Buf, []byte("payload"))
+	cq := NewCQ()
+	qp := a.Connect(b, cq)
+
+	if _, err := qp.Read(mrB, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	f.PartitionOneWay(1, 0)
+	sim.RunFor(time.Millisecond)
+	if cq.Len() != 0 {
+		t.Fatal("read data crossed the cut response path")
+	}
+	f.HealOneWay(1, 0)
+	sim.RunFor(time.Millisecond)
+	comps := cq.Poll()
+	if len(comps) != 1 || comps[0].Status != OK || !bytes.Equal(comps[0].Data, []byte("payload")) {
+		t.Fatalf("read completion wrong after heal: %+v", comps)
+	}
+}

@@ -50,20 +50,25 @@ type Params struct {
 	// RetryTimeout is how long the NIC waits before reporting an error
 	// completion for a write to an unreachable peer.
 	RetryTimeout time.Duration
+	// RetransmitDelay is the extra latency one lost transmission adds
+	// under an injected loss window (RC is reliable: loss never drops
+	// data, it costs a NIC-level retransmission round).
+	RetransmitDelay time.Duration
 }
 
 // DefaultParams returns the calibrated RoCE parameters used by all
 // experiments (see DESIGN.md §5).
 func DefaultParams() Params {
 	return Params{
-		LinkLatency:    900 * time.Nanosecond,
-		LinkJitter:     simnet.Exponential{MeanD: 80 * time.Nanosecond, Cap: 20 * time.Microsecond},
-		Bandwidth:      3.125e9, // 25 Gb/s
-		PostCost:       600 * time.Nanosecond,
-		WireOverhead:   60,
-		MinWireSize:    80,
-		SendQueueDepth: 8192,
-		RetryTimeout:   4 * time.Millisecond,
+		LinkLatency:     900 * time.Nanosecond,
+		LinkJitter:      simnet.Exponential{MeanD: 80 * time.Nanosecond, Cap: 20 * time.Microsecond},
+		Bandwidth:       3.125e9, // 25 Gb/s
+		PostCost:        600 * time.Nanosecond,
+		WireOverhead:    60,
+		MinWireSize:     80,
+		SendQueueDepth:  8192,
+		RetryTimeout:    4 * time.Millisecond,
+		RetransmitDelay: 50 * time.Microsecond,
 	}
 }
 
@@ -77,16 +82,28 @@ func (p *Params) serialize(n int) time.Duration {
 }
 
 // Fabric is a set of nodes connected through one switch.
+//
+// The fault surface is directed: every cut, loss window, and latency spike
+// applies to one direction of a link, keyed by (from, to). The symmetric
+// Partition/Heal API is kept as a two-call convenience on top.
 type Fabric struct {
 	Sim    *simnet.Sim
 	Params Params
 	nodes  []*Node
-	cut    map[[2]int]bool // symmetric partition set
+	cut    map[[2]int]bool          // directed partition set, key [from, to]
+	loss   map[[2]int]float64       // directed loss probability windows
+	spike  map[[2]int]time.Duration // directed extra-latency windows
 }
 
 // NewFabric creates an empty fabric.
 func NewFabric(sim *simnet.Sim, p Params) *Fabric {
-	return &Fabric{Sim: sim, Params: p, cut: make(map[[2]int]bool)}
+	return &Fabric{
+		Sim:    sim,
+		Params: p,
+		cut:    make(map[[2]int]bool),
+		loss:   make(map[[2]int]float64),
+		spike:  make(map[[2]int]time.Duration),
+	}
 }
 
 // AddNode creates a node with its own CPU (Proc) and NIC.
@@ -106,32 +123,142 @@ func (f *Fabric) Node(id int) *Node { return f.nodes[id] }
 // NumNodes returns the number of nodes ever added.
 func (f *Fabric) NumNodes() int { return len(f.nodes) }
 
-func cutKey(a, b int) [2]int {
-	if a > b {
-		a, b = b, a
-	}
-	return [2]int{a, b}
+// Partition cuts both directions of the link between nodes a and b.
+// In-flight and future writes are parked and redelivered after Heal,
+// preserving the reliable-connection guarantee that nothing is lost or
+// reordered.
+func (f *Fabric) Partition(a, b int) {
+	f.PartitionOneWay(a, b)
+	f.PartitionOneWay(b, a)
 }
 
-// Partition cuts the link between nodes a and b. In-flight and future writes
-// are parked and redelivered after Heal, preserving the reliable-connection
-// guarantee that nothing is lost or reordered.
-func (f *Fabric) Partition(a, b int) { f.cut[cutKey(a, b)] = true }
-
-// Heal restores the link between a and b and flushes parked traffic.
+// Heal restores both directions of the a-b link and flushes parked traffic.
 func (f *Fabric) Heal(a, b int) {
-	delete(f.cut, cutKey(a, b))
+	f.HealOneWay(a, b)
+	f.HealOneWay(b, a)
+}
+
+// PartitionOneWay cuts the a→b direction only: payloads from a toward b
+// (and completion acks flowing a→b for writes b posted) park until healed,
+// while b→a traffic is unaffected — the asymmetric failure mode that
+// breaks failure detectors which assume "I can reach you" implies "you can
+// reach me".
+func (f *Fabric) PartitionOneWay(a, b int) {
+	k := [2]int{a, b}
+	if f.cut[k] {
+		return
+	}
+	f.cut[k] = true
+	if tr := f.Sim.Tracer(); tr != nil {
+		tr.Instant(trace.KLinkCut, a, int64(f.Sim.Now()), int64(a), int64(b))
+		tr.Add(trace.CtrLinkCuts, 1)
+	}
+}
+
+// HealOneWay restores the a→b direction and flushes traffic parked on it:
+// payloads of QPs a→b, and completions of QPs b→a whose acks travel a→b.
+func (f *Fabric) HealOneWay(a, b int) {
+	k := [2]int{a, b}
+	if !f.cut[k] {
+		return
+	}
+	delete(f.cut, k)
+	if tr := f.Sim.Tracer(); tr != nil {
+		tr.Instant(trace.KLinkHeal, a, int64(f.Sim.Now()), int64(a), int64(b))
+		tr.Add(trace.CtrLinkHeals, 1)
+	}
 	for _, n := range f.nodes {
 		for _, qp := range n.qps {
-			if (qp.from.ID == a && qp.to.ID == b) || (qp.from.ID == b && qp.to.ID == a) {
+			if qp.from.ID == a && qp.to.ID == b {
 				qp.flushParked()
+			}
+			if qp.from.ID == b && qp.to.ID == a {
+				qp.flushParkedComps()
 			}
 		}
 	}
 }
 
-// Partitioned reports whether the a-b link is currently cut.
-func (f *Fabric) Partitioned(a, b int) bool { return f.cut[cutKey(a, b)] }
+// Partitioned reports whether either direction of the a-b link is cut.
+func (f *Fabric) Partitioned(a, b int) bool {
+	return f.cut[[2]int{a, b}] || f.cut[[2]int{b, a}]
+}
+
+// CutOneWay reports whether the a→b direction is cut.
+func (f *Fabric) CutOneWay(a, b int) bool { return f.cut[[2]int{a, b}] }
+
+// SetLossOneWay installs (or, with p <= 0, clears) a loss-probability
+// window on the a→b direction. Under a window each transmission is lost
+// with probability p per attempt; the reliable connection retransmits, so
+// loss manifests as RetransmitDelay per lost attempt, never as dropped or
+// reordered data.
+func (f *Fabric) SetLossOneWay(a, b int, p float64) {
+	k := [2]int{a, b}
+	if p <= 0 {
+		delete(f.loss, k)
+		return
+	}
+	f.loss[k] = p
+}
+
+// SetLoss installs or clears a loss window on both directions of a-b.
+func (f *Fabric) SetLoss(a, b int, p float64) {
+	f.SetLossOneWay(a, b, p)
+	f.SetLossOneWay(b, a, p)
+}
+
+// SetLatencySpikeOneWay adds d of extra one-way latency to every message
+// on the a→b direction (d <= 0 clears the spike).
+func (f *Fabric) SetLatencySpikeOneWay(a, b int, d time.Duration) {
+	k := [2]int{a, b}
+	if d <= 0 {
+		delete(f.spike, k)
+		d = 0
+	} else {
+		f.spike[k] = d
+	}
+	if tr := f.Sim.Tracer(); tr != nil {
+		tr.Instant(trace.KLatSpike, a, int64(f.Sim.Now()), int64(d), int64(b))
+	}
+}
+
+// SetLatencySpike adds or clears a latency spike on both directions of a-b.
+func (f *Fabric) SetLatencySpike(a, b int, d time.Duration) {
+	f.SetLatencySpikeOneWay(a, b, d)
+	f.SetLatencySpikeOneWay(b, a, d)
+}
+
+// maxRetransmits caps the retransmission attempts charged per message so a
+// p=1.0 loss window stalls a link by a bounded, deterministic amount
+// rather than looping.
+const maxRetransmits = 16
+
+// faultDelay returns the extra one-way latency injected on from→to by the
+// active latency-spike and loss windows. It consumes simulator randomness
+// only while a loss window is installed on that direction, so runs without
+// chaos draw exactly the random stream they always did.
+func (f *Fabric) faultDelay(from, to int) time.Duration {
+	var d time.Duration
+	k := [2]int{from, to}
+	if ex := f.spike[k]; ex > 0 {
+		d += ex
+		if tr := f.Sim.Tracer(); tr != nil {
+			tr.Add(trace.CtrSpikeDelay, int64(ex))
+		}
+	}
+	if p := f.loss[k]; p > 0 {
+		rt := f.Params.RetransmitDelay
+		for i := 0; i < maxRetransmits && f.Sim.Rand().Float64() < p; i++ {
+			d += rt
+			if tr := f.Sim.Tracer(); tr != nil {
+				tr.Instant(trace.KLossDrop, from, int64(f.Sim.Now()), int64(rt), int64(to))
+				tr.Add(trace.CtrLossDrops, 1)
+				tr.Add(trace.CtrLossDelay, int64(rt))
+			}
+		}
+	}
+	return d
+}
 
 // Node is a machine on the fabric: one process/CPU plus one NIC.
 type Node struct {
@@ -240,6 +367,7 @@ type QP struct {
 	outstanding int
 	lastDeliver simnet.Time
 	parked      []parkedWrite
+	parkedCQ    []parkedComp
 	closed      bool
 }
 
@@ -249,6 +377,14 @@ type parkedWrite struct {
 	wrid     uint64
 	ser      time.Duration
 	n        int
+}
+
+// parkedComp is a completion whose ack could not travel the reverse
+// (to→from) direction because of a one-way cut.
+type parkedComp struct {
+	wrid uint64
+	st   CompletionStatus
+	data []byte
 }
 
 // Connect creates a reliable-connection QP from n to remote, with
@@ -300,11 +436,12 @@ func (qp *QP) post(payload int) (deliverAt simnet.Time, ser time.Duration) {
 		tr.Add(trace.CtrRDMABytes, int64(wire))
 		tr.Add(trace.CtrRDMAPostTime, int64(p.PostCost))
 	}
-	// Wire: latency + jitter, FIFO-clamped per QP.
+	// Wire: latency + jitter + injected faults, FIFO-clamped per QP.
 	lat := p.LinkLatency
 	if p.LinkJitter != nil {
 		lat += p.LinkJitter.Sample(sim.Rand())
 	}
+	lat += qp.from.Fabric.faultDelay(qp.from.ID, qp.to.ID)
 	deliverAt = txDone.Add(lat)
 	if deliverAt <= qp.lastDeliver {
 		deliverAt = qp.lastDeliver + 1
@@ -313,6 +450,32 @@ func (qp *QP) post(payload int) (deliverAt simnet.Time, ser time.Duration) {
 	qp.from.BytesSent += uint64(payload + p.WireOverhead)
 	qp.from.Writes++
 	return deliverAt, ser
+}
+
+// completeWire delivers a completion whose acknowledgment traverses the
+// reverse (to→from) wire direction, generated at the remote NIC at genAt.
+// If that direction is cut the completion parks until HealOneWay flushes
+// it; locally-generated error completions (Flushed) bypass this and use
+// complete directly.
+func (qp *QP) completeWire(genAt simnet.Time, wrid uint64, st CompletionStatus, data []byte) {
+	f := qp.from.Fabric
+	if f.CutOneWay(qp.to.ID, qp.from.ID) {
+		qp.parkedCQ = append(qp.parkedCQ, parkedComp{wrid: wrid, st: st, data: data})
+		return
+	}
+	lat := f.Params.LinkLatency + f.faultDelay(qp.to.ID, qp.from.ID)
+	qp.complete(genAt.Add(lat), wrid, st, data)
+}
+
+// flushParkedComps releases completions parked behind a reverse-direction
+// cut, in generation order.
+func (qp *QP) flushParkedComps() {
+	parked := qp.parkedCQ
+	qp.parkedCQ = nil
+	at := qp.from.Fabric.Sim.Now().Add(qp.params.LinkLatency)
+	for _, pc := range parked {
+		qp.complete(at, pc.wrid, pc.st, pc.data)
+	}
 }
 
 func (qp *QP) complete(at simnet.Time, wrid uint64, st CompletionStatus, data []byte) {
@@ -386,7 +549,7 @@ func (qp *QP) write(remote *MR, off int, data []byte, signaled bool) (uint64, er
 		}
 	}
 
-	if qp.from.Fabric.Partitioned(qp.from.ID, qp.to.ID) {
+	if qp.from.Fabric.CutOneWay(qp.from.ID, qp.to.ID) {
 		qp.parked = append(qp.parked, parkedWrite{apply: apply, signaled: signaled, wrid: wrid, ser: ser, n: len(data)})
 		return wrid, nil
 	}
@@ -404,7 +567,7 @@ func (qp *QP) write(remote *MR, off int, data []byte, signaled bool) (uint64, er
 			tr.Instant(trace.KWireRx, qp.to.ID, int64(deliverAt), int64(wrid), int64(len(buf)))
 		}
 		if signaled {
-			qp.complete(deliverAt.Add(qp.params.LinkLatency), wrid, OK, nil)
+			qp.completeWire(deliverAt, wrid, OK, nil)
 		}
 	})
 	return wrid, nil
@@ -435,7 +598,7 @@ func (qp *QP) flushParked() {
 				tr.Instant(trace.KWireRx, qp.to.ID, int64(at), int64(pw.wrid), int64(pw.n))
 			}
 			if pw.signaled {
-				qp.complete(at.Add(qp.params.LinkLatency), pw.wrid, OK, nil)
+				qp.completeWire(at, pw.wrid, OK, nil)
 			}
 		})
 	}
@@ -477,11 +640,11 @@ func (qp *QP) Read(remote *MR, off, n int) (uint64, error) {
 			qp.complete(reqAt.Add(p.RetryTimeout), wrid, Flushed, nil)
 			return
 		}
-		// Remote NIC reads memory and streams the response back.
+		// Remote NIC reads memory and streams the response back over the
+		// to→from direction (parks behind a reverse one-way cut).
 		data := make([]byte, n)
 		copy(data, remote.Buf[off:off+n])
-		respAt := reqAt.Add(p.serialize(n) + p.LinkLatency)
-		qp.complete(respAt, wrid, OK, data)
+		qp.completeWire(reqAt.Add(p.serialize(n)), wrid, OK, data)
 	})
 	return wrid, nil
 }

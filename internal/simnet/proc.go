@@ -42,7 +42,9 @@ type Proc struct {
 // NewProc creates a live process.
 func NewProc(s *Sim, id int, name string) *Proc {
 	s.tracer.SetThreadName(id, name)
-	return &Proc{Sim: s, ID: id, Name: name, alive: true}
+	p := &Proc{Sim: s, ID: id, Name: name, alive: true}
+	s.procs = append(s.procs, p)
+	return p
 }
 
 // SetDesched installs (or clears, with nil) a descheduling model. The first

@@ -86,6 +86,7 @@ type Sim struct {
 	stopped bool
 	pending int
 	tracer  *trace.Tracer
+	procs   []*Proc
 
 	// Stats
 	processed uint64
@@ -216,6 +217,11 @@ func (s *Sim) Run() {
 // Stop makes the currently executing Run/RunUntil call return after the
 // current event completes.
 func (s *Sim) Stop() { s.stopped = true }
+
+// Procs returns every process ever created on this simulator, in creation
+// order. Diagnostics only (the watchdog's stalled-process dump); mutating
+// the returned slice is undefined.
+func (s *Sim) Procs() []*Proc { return s.procs }
 
 // Pending reports the number of scheduled (unfired, unstopped) events.
 // The count is maintained incrementally at schedule/stop/fire time, so

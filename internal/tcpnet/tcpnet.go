@@ -8,6 +8,12 @@
 // RDMA writes — delivery requires the receiving *process* to be scheduled
 // (softirq + wakeup), so a busy or descheduled receiver delays every
 // message. Connections are reliable and FIFO, like real TCP.
+//
+// Like rdma.Fabric, the network exposes a directed fault surface for the
+// chaos engine: one-way cuts (parked in the sender's kernel buffer and
+// retransmitted after heal), per-direction loss-probability windows (each
+// lost transmission costs a retransmission timeout; TCP never drops or
+// reorders data), and latency-spike windows.
 package tcpnet
 
 import (
@@ -36,19 +42,24 @@ type Params struct {
 	Bandwidth float64
 	// WireOverhead is per-message header bytes (Ethernet+IP+TCP).
 	WireOverhead int
+	// RetransmitDelay is the extra latency one lost transmission adds
+	// under an injected loss window (TCP RTO-driven recovery; much larger
+	// than the RDMA NIC's retransmission round).
+	RetransmitDelay time.Duration
 }
 
 // DefaultParams returns the calibrated kernel-TCP constants.
 func DefaultParams() Params {
 	return Params{
-		SendCost:      2500 * time.Nanosecond,
-		KernelLatency: 6 * time.Microsecond,
-		WakeupLatency: 4 * time.Microsecond,
-		RecvCost:      1500 * time.Nanosecond,
-		LinkLatency:   900 * time.Nanosecond,
-		Jitter:        simnet.Exponential{MeanD: 2 * time.Microsecond, Cap: 200 * time.Microsecond},
-		Bandwidth:     3.125e9,
-		WireOverhead:  66,
+		SendCost:        2500 * time.Nanosecond,
+		KernelLatency:   6 * time.Microsecond,
+		WakeupLatency:   4 * time.Microsecond,
+		RecvCost:        1500 * time.Nanosecond,
+		LinkLatency:     900 * time.Nanosecond,
+		Jitter:          simnet.Exponential{MeanD: 2 * time.Microsecond, Cap: 200 * time.Microsecond},
+		Bandwidth:       3.125e9,
+		WireOverhead:    66,
+		RetransmitDelay: 200 * time.Microsecond,
 	}
 }
 
@@ -57,11 +68,146 @@ type Net struct {
 	Sim    *simnet.Sim
 	Params Params
 	nodes  []*Node
+	conns  []*Conn
+	cut    map[[2]int]bool          // directed partition set, key [from, to]
+	loss   map[[2]int]float64       // directed loss probability windows
+	spike  map[[2]int]time.Duration // directed extra-latency windows
 }
 
 // New creates an empty network.
 func New(sim *simnet.Sim, p Params) *Net {
-	return &Net{Sim: sim, Params: p}
+	return &Net{
+		Sim:    sim,
+		Params: p,
+		cut:    make(map[[2]int]bool),
+		loss:   make(map[[2]int]float64),
+		spike:  make(map[[2]int]time.Duration),
+	}
+}
+
+// Partition cuts both directions of the link between hosts a and b.
+func (n *Net) Partition(a, b int) {
+	n.PartitionOneWay(a, b)
+	n.PartitionOneWay(b, a)
+}
+
+// Heal restores both directions of the a-b link.
+func (n *Net) Heal(a, b int) {
+	n.HealOneWay(a, b)
+	n.HealOneWay(b, a)
+}
+
+// PartitionOneWay cuts the a→b direction only. Messages sent a→b park in
+// the sender's kernel buffer (TCP keeps retransmitting silently) and are
+// delivered, in order, once the direction heals; b→a traffic is
+// unaffected.
+func (n *Net) PartitionOneWay(a, b int) {
+	k := [2]int{a, b}
+	if n.cut[k] {
+		return
+	}
+	n.cut[k] = true
+	if tr := n.Sim.Tracer(); tr != nil {
+		tr.Instant(trace.KLinkCut, a, int64(n.Sim.Now()), int64(a), int64(b))
+		tr.Add(trace.CtrLinkCuts, 1)
+	}
+}
+
+// HealOneWay restores the a→b direction and retransmits parked messages
+// on every a→b connection, in send order.
+func (n *Net) HealOneWay(a, b int) {
+	k := [2]int{a, b}
+	if !n.cut[k] {
+		return
+	}
+	delete(n.cut, k)
+	if tr := n.Sim.Tracer(); tr != nil {
+		tr.Instant(trace.KLinkHeal, a, int64(n.Sim.Now()), int64(a), int64(b))
+		tr.Add(trace.CtrLinkHeals, 1)
+	}
+	for _, c := range n.conns {
+		if c.from.ID == a && c.to.ID == b {
+			c.flushParked()
+		}
+	}
+}
+
+// Partitioned reports whether either direction of the a-b link is cut.
+func (n *Net) Partitioned(a, b int) bool {
+	return n.cut[[2]int{a, b}] || n.cut[[2]int{b, a}]
+}
+
+// CutOneWay reports whether the a→b direction is cut.
+func (n *Net) CutOneWay(a, b int) bool { return n.cut[[2]int{a, b}] }
+
+// SetLossOneWay installs (or, with p <= 0, clears) a loss-probability
+// window on the a→b direction; each lost transmission adds
+// RetransmitDelay, data is never dropped.
+func (n *Net) SetLossOneWay(a, b int, p float64) {
+	k := [2]int{a, b}
+	if p <= 0 {
+		delete(n.loss, k)
+		return
+	}
+	n.loss[k] = p
+}
+
+// SetLoss installs or clears a loss window on both directions of a-b.
+func (n *Net) SetLoss(a, b int, p float64) {
+	n.SetLossOneWay(a, b, p)
+	n.SetLossOneWay(b, a, p)
+}
+
+// SetLatencySpikeOneWay adds d of extra one-way latency to every message
+// on the a→b direction (d <= 0 clears the spike).
+func (n *Net) SetLatencySpikeOneWay(a, b int, d time.Duration) {
+	k := [2]int{a, b}
+	if d <= 0 {
+		delete(n.spike, k)
+		d = 0
+	} else {
+		n.spike[k] = d
+	}
+	if tr := n.Sim.Tracer(); tr != nil {
+		tr.Instant(trace.KLatSpike, a, int64(n.Sim.Now()), int64(d), int64(b))
+	}
+}
+
+// SetLatencySpike adds or clears a latency spike on both directions of a-b.
+func (n *Net) SetLatencySpike(a, b int, d time.Duration) {
+	n.SetLatencySpikeOneWay(a, b, d)
+	n.SetLatencySpikeOneWay(b, a, d)
+}
+
+// maxRetransmits caps retransmission attempts charged per message under a
+// loss window, bounding the injected delay deterministically.
+const maxRetransmits = 16
+
+// faultDelay returns the extra one-way latency injected on from→to by the
+// active latency-spike and loss windows. Randomness is consumed only while
+// a loss window is installed on that direction, so chaos-free runs draw
+// exactly the random stream they always did.
+func (n *Net) faultDelay(from, to int) time.Duration {
+	var d time.Duration
+	k := [2]int{from, to}
+	if ex := n.spike[k]; ex > 0 {
+		d += ex
+		if tr := n.Sim.Tracer(); tr != nil {
+			tr.Add(trace.CtrSpikeDelay, int64(ex))
+		}
+	}
+	if p := n.loss[k]; p > 0 {
+		rt := n.Params.RetransmitDelay
+		for i := 0; i < maxRetransmits && n.Sim.Rand().Float64() < p; i++ {
+			d += rt
+			if tr := n.Sim.Tracer(); tr != nil {
+				tr.Instant(trace.KLossDrop, from, int64(n.Sim.Now()), int64(rt), int64(to))
+				tr.Add(trace.CtrLossDrops, 1)
+				tr.Add(trace.CtrLossDelay, int64(rt))
+			}
+		}
+	}
+	return d
 }
 
 // Node is one host: a process plus a kernel network path.
@@ -87,10 +233,16 @@ func (n *Net) AddNode(name string) *Node {
 // Node returns the host with the given ID.
 func (n *Net) Node(id int) *Node { return n.nodes[id] }
 
-// Crash powers the host off; in-flight messages to it are dropped.
+// Crash powers the host off; in-flight messages to it are dropped, and
+// messages parked in its kernel buffers die with the process.
 func (nd *Node) Crash() {
 	nd.crashed = true
 	nd.Proc.Crash()
+	for _, c := range nd.Net.conns {
+		if c.from == nd {
+			c.parked = nil
+		}
+	}
 }
 
 // Recover restarts a crashed host.
@@ -109,17 +261,21 @@ type Conn struct {
 	from, to    *Node
 	handler     func(msg []byte)
 	lastDeliver simnet.Time
+	parked      [][]byte
 }
 
 // Connect opens a connection from nd to remote; handler runs on remote's
 // process for every delivered message.
 func (nd *Node) Connect(remote *Node, handler func(msg []byte)) *Conn {
-	return &Conn{from: nd, to: remote, handler: handler}
+	c := &Conn{from: nd, to: remote, handler: handler}
+	nd.Net.conns = append(nd.Net.conns, c)
+	return c
 }
 
 // Send transmits msg. It charges the sender's CPU and NIC and schedules
 // receiver-side processing; delivery is skipped if either end has crashed
-// by the relevant time.
+// by the relevant time. Under a one-way cut the message parks after the
+// send syscall (the kernel buffers it) until the direction heals.
 func (c *Conn) Send(msg []byte) {
 	nd := c.from
 	if nd.crashed {
@@ -129,10 +285,33 @@ func (c *Conn) Send(msg []byte) {
 	sim := nd.Net.Sim
 	nd.MsgsSent++
 
-	// Sender: syscall, then kernel path, then NIC serialization.
+	// Sender: syscall into the kernel buffer.
 	sendDone := nd.Proc.Run(p.SendCost, nil)
-	ser := time.Duration(float64(len(msg)+p.WireOverhead) / p.Bandwidth * 1e9)
-	txStart := sendDone.Add(p.KernelLatency)
+	if tr := sim.Tracer(); tr != nil {
+		tr.Span(trace.KTCPSend, nd.ID, int64(sim.Now()), int64(p.SendCost), int64(len(msg)), 0)
+		tr.Add(trace.CtrTCPMsgs, 1)
+		tr.Add(trace.CtrTCPBytes, int64(len(msg)))
+		tr.Add(trace.CtrTCPSendTime, int64(p.SendCost))
+	}
+
+	buf := make([]byte, len(msg))
+	copy(buf, msg)
+	if nd.Net.CutOneWay(nd.ID, c.to.ID) {
+		c.parked = append(c.parked, buf)
+		return
+	}
+	c.transmit(sendDone, buf)
+}
+
+// transmit runs the kernel/NIC/wire/receiver half of a send, starting no
+// earlier than ready.
+func (c *Conn) transmit(ready simnet.Time, buf []byte) {
+	nd := c.from
+	p := &nd.Net.Params
+	sim := nd.Net.Sim
+
+	ser := time.Duration(float64(len(buf)+p.WireOverhead) / p.Bandwidth * 1e9)
+	txStart := ready.Add(p.KernelLatency)
 	if nd.nicFreeAt > txStart {
 		txStart = nd.nicFreeAt
 	}
@@ -143,6 +322,7 @@ func (c *Conn) Send(msg []byte) {
 	if p.Jitter != nil {
 		lat += p.Jitter.Sample(sim.Rand())
 	}
+	lat += nd.Net.faultDelay(nd.ID, c.to.ID)
 	arrive := txDone.Add(lat + p.KernelLatency)
 	if arrive <= c.lastDeliver {
 		arrive = c.lastDeliver + 1
@@ -150,17 +330,11 @@ func (c *Conn) Send(msg []byte) {
 	c.lastDeliver = arrive
 
 	if tr := sim.Tracer(); tr != nil {
-		tr.Span(trace.KTCPSend, nd.ID, int64(sim.Now()), int64(p.SendCost), int64(len(msg)), 0)
-		tr.Span(trace.KTCPWire, nd.ID, int64(txStart), int64(arrive-txStart), int64(len(msg)), 0)
+		tr.Span(trace.KTCPWire, nd.ID, int64(txStart), int64(arrive-txStart), int64(len(buf)), 0)
 		tr.Span(trace.KTCPWakeup, c.to.ID, int64(arrive), int64(p.WakeupLatency), 0, 0)
-		tr.Add(trace.CtrTCPMsgs, 1)
-		tr.Add(trace.CtrTCPBytes, int64(len(msg)))
-		tr.Add(trace.CtrTCPSendTime, int64(p.SendCost))
 		tr.Add(trace.CtrTCPWakeups, 1)
 	}
 
-	buf := make([]byte, len(msg))
-	copy(buf, msg)
 	to := c.to
 	// Receiver: wakeup + recv processing on the receiving CPU.
 	to.Proc.RunAt(arrive.Add(p.WakeupLatency), p.RecvCost, func() {
@@ -170,4 +344,18 @@ func (c *Conn) Send(msg []byte) {
 		}
 		c.handler(buf)
 	})
+}
+
+// flushParked retransmits messages parked behind a one-way cut, in send
+// order, unless the sender has since crashed.
+func (c *Conn) flushParked() {
+	parked := c.parked
+	c.parked = nil
+	if c.from.crashed {
+		return
+	}
+	now := c.from.Net.Sim.Now()
+	for _, buf := range parked {
+		c.transmit(now, buf)
+	}
 }

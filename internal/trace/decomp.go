@@ -119,7 +119,7 @@ func (t *Tracer) WriteCounters(w io.Writer) {
 		}
 		switch c {
 		case CtrProcTime, CtrDeschedTime, CtrPollTime, CtrRDMAPostTime,
-			CtrRDMAWireTime, CtrTCPSendTime:
+			CtrRDMAWireTime, CtrTCPSendTime, CtrLossDelay, CtrSpikeDelay:
 			fmt.Fprintf(w, "  %-18s %v\n", CounterName(c), time.Duration(v))
 		default:
 			fmt.Fprintf(w, "  %-18s %d\n", CounterName(c), v)

@@ -56,6 +56,14 @@ const (
 	KElectStart // election / view change started
 	KElectWin   // election / view change completed
 
+	// Fault injection (internal/chaos and the fabric fault hooks).
+	KChaosAct // chaos engine fired a plan action; A=action kind, B=target node
+	KLinkCut  // one-way link cut installed; A=from node, B=to node
+	KLinkHeal // one-way link healed; A=from node, B=to node
+	KLossDrop // transmission lost and retransmitted; A=retransmit delay ns
+	KLatSpike // latency-spike window changed; A=extra ns (0 clears), B=to node
+	KWatchdog // no-progress watchdog fired; A=budget ns, B=progress value
+
 	numKinds
 )
 
@@ -83,6 +91,12 @@ var kindNames = [numKinds]string{
 	KAck:         "proto.ack",
 	KElectStart:  "proto.elect_start",
 	KElectWin:    "proto.elect_win",
+	KChaosAct:    "chaos.act",
+	KLinkCut:     "chaos.link_cut",
+	KLinkHeal:    "chaos.link_heal",
+	KLossDrop:    "chaos.loss_drop",
+	KLatSpike:    "chaos.lat_spike",
+	KWatchdog:    "chaos.watchdog",
 }
 
 // KindName returns the stable name of k ("rdma.cqe", "proto.commit", ...).
@@ -117,6 +131,12 @@ var kindCats = [numKinds]string{
 	KAck:         "proto",
 	KElectStart:  "proto",
 	KElectWin:    "proto",
+	KChaosAct:    "chaos",
+	KLinkCut:     "chaos",
+	KLinkHeal:    "chaos",
+	KLossDrop:    "chaos",
+	KLatSpike:    "chaos",
+	KWatchdog:    "chaos",
 }
 
 // Counter identifies a monotonic per-layer counter.
@@ -151,6 +171,14 @@ const (
 	CtrAcks      // client acks observed
 	CtrElections // elections / view changes started
 
+	CtrChaosActs  // chaos plan actions fired
+	CtrLinkCuts   // one-way link cuts installed
+	CtrLinkHeals  // one-way link heals
+	CtrLossDrops  // transmissions lost and retransmitted
+	CtrLossDelay  // ns of retransmit delay injected by loss windows
+	CtrSpikeDelay // ns of extra latency injected by spike windows
+	CtrWatchdogs  // no-progress watchdog firings
+
 	numCounters
 )
 
@@ -178,6 +206,13 @@ var counterNames = [numCounters]string{
 	CtrDelivers:     "proto.delivers",
 	CtrAcks:         "proto.acks",
 	CtrElections:    "proto.elections",
+	CtrChaosActs:    "chaos.actions",
+	CtrLinkCuts:     "chaos.link_cuts",
+	CtrLinkHeals:    "chaos.link_heals",
+	CtrLossDrops:    "chaos.loss_drops",
+	CtrLossDelay:    "chaos.loss_delay_ns",
+	CtrSpikeDelay:   "chaos.spike_delay_ns",
+	CtrWatchdogs:    "chaos.watchdogs",
 }
 
 // NumCounters is the number of defined counters (for iteration).

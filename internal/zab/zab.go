@@ -50,13 +50,20 @@ func DefaultConfig(n int) Config {
 	}
 }
 
-// Wire message kinds.
+// Wire message kinds. Election follows ZooKeeper's recovery phase: the
+// elected leader announces (mNewLeader), each follower reports its last
+// zxid (mFollowerInfo), the leader ships a per-follower DIFF of missing
+// entries (mSyncDiff), the follower persists it and acknowledges
+// (mNewLeaderAck), and on a quorum of acks the leader activates and
+// commits its whole inherited history.
 const (
 	mPropose = byte(iota)
 	mAck
 	mCommit
 	mVote
 	mNewLeader
+	mFollowerInfo
+	mSyncDiff
 	mNewLeaderAck
 	mPing
 )
@@ -83,6 +90,7 @@ type Server struct {
 
 	role      roleT
 	active    bool // leader only: finished the post-election sync round
+	synced    bool // follower only: received this epoch's DIFF
 	epoch     uint32
 	counter   uint32 // per-epoch proposal counter (leader)
 	leader    int
@@ -90,7 +98,13 @@ type Server struct {
 	log       []entry
 	committed int // entries [0,committed) delivered
 	acks      map[uint64]int
-	nlAcks    int
+	nlAcked   map[int]bool
+
+	// Duplicate suppression across leader changes: ids in the local log
+	// and ids already delivered. A client retry whose ack died with the
+	// old leader must not be proposed under a fresh zxid.
+	seenIDs      map[uint64]bool
+	deliveredIDs map[uint64]bool
 
 	pendingPersist []entry
 	persistCBs     []func()
@@ -160,9 +174,12 @@ func NewCluster(sim *simnet.Sim, net *tcpnet.Net, cfg Config) *Cluster {
 	for i := 0; i < cfg.N; i++ {
 		c.Servers[i] = &Server{
 			c: c, id: i, node: nodes[i],
-			leader: -1,
-			acks:   make(map[uint64]int),
-			votes:  make(map[int]voteT),
+			leader:       -1,
+			acks:         make(map[uint64]int),
+			votes:        make(map[int]voteT),
+			nlAcked:      make(map[int]bool),
+			seenIDs:      make(map[uint64]bool),
+			deliveredIDs: make(map[uint64]bool),
 		}
 	}
 	for i, s := range c.Servers {
@@ -211,13 +228,24 @@ func (s *Server) broadcast(m []byte) {
 // --- broadcast mode ---
 
 func (s *Server) clientRequest(payload []byte) {
-	if s.role != leading || !s.active {
+	if s.role != leading || !s.active || len(payload) < 8 {
 		return // dropped; client retries
 	}
+	id := abcast.MsgID(payload)
+	if s.deliveredIDs[id] {
+		// Retry of an already-applied request whose ack died with an old
+		// leader: re-ack, never re-propose under a fresh zxid.
+		s.c.toClient[s.id].Send(payload[:8])
+		return
+	}
+	if s.seenIDs[id] {
+		return // already in flight under some zxid
+	}
 	s.node.Proc.Run(s.c.cfg.LeaderOpCost, func() {
-		if s.role != leading {
+		if s.role != leading || !s.active || s.seenIDs[id] || s.deliveredIDs[id] {
 			return
 		}
+		s.seenIDs[id] = true
 		s.counter++
 		zxid := uint64(s.epoch)<<32 | uint64(s.counter)
 		s.lastZxid = zxid
@@ -265,12 +293,18 @@ func (s *Server) handle(m []byte) {
 	kind, epoch, zxid, payload := dec(m)
 	switch kind {
 	case mPropose:
-		if s.role != following || epoch != s.epoch {
+		// An unsynced follower must not append: a proposal landing before
+		// its DIFF would leave a zxid gap the DIFF can no longer fill. The
+		// leader's DIFF (computed later) includes the proposal instead.
+		if s.role != following || epoch != s.epoch || !s.synced {
 			return
 		}
 		s.node.Proc.Pause(s.c.cfg.FollowerOpCost)
 		e := entry{zxid: zxid, payload: append([]byte(nil), payload...)}
 		s.log = append(s.log, e)
+		if len(payload) >= 8 {
+			s.seenIDs[abcast.MsgID(payload)] = true
+		}
 		if tr := s.c.Sim.Tracer(); tr != nil {
 			tr.Instant(trace.KAccept, s.id, int64(s.c.Sim.Now()), trace.ID(payload), int64(zxid))
 			tr.Add(trace.CtrAccepts, 1)
@@ -292,12 +326,29 @@ func (s *Server) handle(m []byte) {
 			int(binary.LittleEndian.Uint32(payload[4:])))
 	case mNewLeader:
 		s.onNewLeader(epoch, zxid, payload)
+	case mFollowerInfo:
+		if s.role != leading || epoch != s.epoch {
+			return
+		}
+		s.sendDiff(int(binary.LittleEndian.Uint32(payload)), zxid)
+	case mSyncDiff:
+		s.onSyncDiff(epoch, payload)
 	case mNewLeaderAck:
-		if s.role == leading && epoch == s.epoch {
-			s.nlAcks++
-			if s.nlAcks+1 >= s.c.quorum() && !s.active {
-				s.active = true // verification round complete; serve clients
+		if s.role != leading || epoch != s.epoch {
+			return
+		}
+		from := int(binary.LittleEndian.Uint32(payload))
+		if s.active {
+			// A late joiner finished syncing after activation: tell it the
+			// committed boundary so it delivers without waiting for traffic.
+			if s.committed > 0 {
+				s.send(from, enc(mCommit, s.epoch, s.log[s.committed-1].zxid, nil))
 			}
+			return
+		}
+		s.nlAcked[from] = true
+		if len(s.nlAcked)+1 >= s.c.quorum() {
+			s.activate()
 		}
 	case mPing:
 		if s.role == following && epoch == s.epoch {
@@ -333,6 +384,9 @@ func (s *Server) deliverUpTo(zxid uint64) {
 			tr.Instant(trace.KDeliver, s.id, now, trace.ID(e.payload), int64(e.zxid))
 			tr.Add(trace.CtrDelivers, 1)
 		}
+		if len(e.payload) >= 8 {
+			s.deliveredIDs[abcast.MsgID(e.payload)] = true
+		}
 		if s.c.OnDeliver != nil {
 			s.c.OnDeliver(s.id, e.zxid, e.payload)
 		}
@@ -348,6 +402,7 @@ func (s *Server) deliverUpTo(zxid uint64) {
 func (s *Server) startElection() {
 	s.role = looking
 	s.active = false
+	s.synced = false
 	s.leader = -1
 	s.epoch++
 	s.votes = map[int]voteT{s.id: {s.epoch, s.lastZxid, s.id}}
@@ -370,14 +425,19 @@ func (s *Server) sendVote() {
 // onVote processes sender's vote for candidate (with the candidate's last
 // zxid). The votes map is keyed by sender.
 func (s *Server) onVote(epoch uint32, zxid uint64, candidate, sender int) {
-	if s.role == leading && epoch <= s.epoch {
+	if s.role == leading {
+		// An established leader answers stray votes — a restarted or
+		// long-partitioned peer probing for the cluster, possibly with an
+		// inflated epoch from retried solo elections — with a targeted sync
+		// round instead of letting the vote depose a healthy quorum.
+		s.syncFollower(sender)
 		return
 	}
-	if s.role == following && epoch <= s.epoch {
+	if s.role == following {
+		// A healthy follower ignores votes; it joins an election only when
+		// its own ping-staleness check fires. The looking sender will be
+		// adopted by the leader directly.
 		return
-	}
-	if s.role != looking {
-		s.startElection()
 	}
 	if epoch > s.epoch {
 		s.epoch = epoch
@@ -421,55 +481,127 @@ func (s *Server) becomeLeader() {
 	s.role = leading
 	s.leader = s.id
 	s.active = false
+	s.synced = true
 	if tr := s.c.Sim.Tracer(); tr != nil {
 		tr.Instant(trace.KElectWin, s.id, int64(s.c.Sim.Now()), int64(s.epoch), 0)
 	}
-	s.nlAcks = 0
+	s.nlAcked = make(map[int]bool)
 	s.acks = make(map[uint64]int)
 	s.counter = 0
-	// Synchronize followers: ship the whole uncommitted suffix (ZooKeeper
-	// DIFF sync), then wait for a quorum of acknowledgments — the extra
+	// Recovery phase: announce leadership, then sync each follower with a
+	// per-follower DIFF once it reports its last zxid — the extra
 	// verification exchange the paper contrasts with Acuerdo's election.
-	suffix := make([]byte, 4)
-	binary.LittleEndian.PutUint32(suffix, uint32(s.id))
-	for _, e := range s.log[s.committed:] {
-		rec := make([]byte, 12+len(e.payload))
-		binary.LittleEndian.PutUint64(rec, e.zxid)
-		binary.LittleEndian.PutUint32(rec[8:], uint32(len(e.payload)))
-		copy(rec[12:], e.payload)
-		suffix = append(suffix, rec...)
-	}
-	s.broadcast(enc(mNewLeader, s.epoch, uint64(s.committed), suffix))
+	idb := make([]byte, 4)
+	binary.LittleEndian.PutUint32(idb, uint32(s.id))
+	s.broadcast(enc(mNewLeader, s.epoch, s.lastZxid, idb))
 	s.schedulePing()
 }
 
-func (s *Server) onNewLeader(epoch uint32, committed uint64, suffix []byte) {
-	if epoch < s.epoch {
+// syncFollower runs a targeted announce-and-sync round with one peer (a
+// rejoiner probing via votes, or a straggler missing the election round).
+func (s *Server) syncFollower(j int) {
+	if j == s.id || s.out[j] == nil {
+		return
+	}
+	idb := make([]byte, 4)
+	binary.LittleEndian.PutUint32(idb, uint32(s.id))
+	s.send(j, enc(mNewLeader, s.epoch, s.lastZxid, idb))
+}
+
+func (s *Server) onNewLeader(epoch uint32, leaderZxid uint64, payload []byte) {
+	// A looking node accepts any announce, even with a smaller epoch: a
+	// rejoiner that inflated its epoch through retried solo elections must
+	// still be able to adopt the established leader (whose epoch reflects
+	// the last election that actually won a quorum).
+	if epoch < s.epoch && s.role != looking {
+		return
+	}
+	ldr := int(binary.LittleEndian.Uint32(payload))
+	if ldr == s.id {
 		return
 	}
 	s.epoch = epoch
 	s.role = following
 	s.active = false
-	s.leader = int(binary.LittleEndian.Uint32(suffix))
-	suffix = suffix[4:]
-	// Truncate uncommitted suffix and adopt the leader's.
+	s.synced = false
+	s.leader = ldr
+	// Drop the uncommitted tail; the leader's DIFF replaces it. The ids of
+	// dropped entries leave the seen set so a client retry can re-propose
+	// them if the new leader does not have them.
+	for _, e := range s.log[s.committed:] {
+		if len(e.payload) >= 8 {
+			delete(s.seenIDs, abcast.MsgID(e.payload))
+		}
+	}
 	s.log = s.log[:s.committed]
-	for off := 0; off+12 <= len(suffix); {
-		zxid := binary.LittleEndian.Uint64(suffix[off:])
-		ln := int(binary.LittleEndian.Uint32(suffix[off+8:]))
-		pl := append([]byte(nil), suffix[off+12:off+12+ln]...)
-		if len(s.log) == 0 || s.log[len(s.log)-1].zxid < zxid {
+	if len(s.log) > 0 {
+		s.lastZxid = s.log[len(s.log)-1].zxid
+	} else {
+		s.lastZxid = 0
+	}
+	_ = leaderZxid
+	s.lastPing = s.c.Sim.Now()
+	idb := make([]byte, 4)
+	binary.LittleEndian.PutUint32(idb, uint32(s.id))
+	s.send(ldr, enc(mFollowerInfo, s.epoch, s.lastZxid, idb))
+	s.armFollowTimer()
+}
+
+// sendDiff ships every log entry after the follower's reported zxid. The
+// DIFF is computed when the FollowerInfo arrives, so it also contains any
+// proposals broadcast while the follower was still unsynced (which the
+// follower dropped); everything later arrives in FIFO order behind it.
+func (s *Server) sendDiff(j int, after uint64) {
+	diff := make([]byte, 0, 64)
+	for _, e := range s.log {
+		if e.zxid <= after {
+			continue
+		}
+		rec := make([]byte, 12+len(e.payload))
+		binary.LittleEndian.PutUint64(rec, e.zxid)
+		binary.LittleEndian.PutUint32(rec[8:], uint32(len(e.payload)))
+		copy(rec[12:], e.payload)
+		diff = append(diff, rec...)
+	}
+	s.send(j, enc(mSyncDiff, s.epoch, s.lastZxid, diff))
+}
+
+func (s *Server) onSyncDiff(epoch uint32, payload []byte) {
+	if s.role != following || epoch != s.epoch {
+		return
+	}
+	for off := 0; off+12 <= len(payload); {
+		zxid := binary.LittleEndian.Uint64(payload[off:])
+		ln := int(binary.LittleEndian.Uint32(payload[off+8:]))
+		pl := append([]byte(nil), payload[off+12:off+12+ln]...)
+		if zxid > s.lastZxid {
 			s.log = append(s.log, entry{zxid, pl})
+			s.lastZxid = zxid
+			if len(pl) >= 8 {
+				s.seenIDs[abcast.MsgID(pl)] = true
+			}
 		}
 		off += 12 + ln
 	}
-	if len(s.log) > 0 {
-		s.lastZxid = s.log[len(s.log)-1].zxid
+	s.synced = true
+	// Ack only after the adopted history hits the transaction log: the
+	// leader commits its inherited suffix on a quorum of these acks, so an
+	// ack before persistence would let a commit outrun durable storage.
+	idb := make([]byte, 4)
+	binary.LittleEndian.PutUint32(idb, uint32(s.id))
+	s.persist(entry{}, func() { s.send(s.leader, enc(mNewLeaderAck, s.epoch, 0, idb)) })
+}
+
+// activate completes the verification round: a quorum has persisted the
+// leader's history, so the entire inherited log is committed (Zab's
+// NEWLEADER commit) and the leader may serve clients. Without this, a
+// suffix inherited from a dead leader would sit uncommitted forever.
+func (s *Server) activate() {
+	s.active = true
+	if len(s.log) > s.committed {
+		s.broadcast(enc(mCommit, s.epoch, s.lastZxid, nil))
+		s.deliverUpTo(s.lastZxid)
 	}
-	_ = committed
-	s.lastPing = s.c.Sim.Now()
-	s.send(s.leader, enc(mNewLeaderAck, s.epoch, 0, nil))
-	s.armFollowTimer()
 }
 
 func (s *Server) schedulePing() {
@@ -500,6 +632,31 @@ func (s *Server) armElectTimer() {
 			s.startElection()
 		}
 	})
+}
+
+// --- fault injection (chaos engine surface) ---
+
+// Node returns replica i's transport endpoint.
+func (c *Cluster) Node(i int) *tcpnet.Node { return c.Servers[i].node }
+
+// Crash fail-stops replica i: its queued work and timers die, in-flight
+// messages to it are dropped, and peers see silence.
+func (c *Cluster) Crash(i int) { c.Servers[i].node.Crash() }
+
+// Restart recovers a crashed replica. Persistent state (epoch, log,
+// committed prefix) survives; the volatile fsync machinery is reset and
+// the replica rejoins by probing with votes — an established leader
+// answers with a targeted sync round instead of a full re-election.
+func (c *Cluster) Restart(i int) {
+	s := c.Servers[i]
+	if !s.node.Crashed() {
+		return
+	}
+	s.node.Recover()
+	s.persistBusy = false
+	s.persistCBs = nil
+	s.pendingPersist = nil
+	s.startElection()
 }
 
 // --- cluster-level client API ---
