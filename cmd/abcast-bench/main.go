@@ -9,12 +9,18 @@
 //	abcast-bench -nodes 3 -size 10       # one subfigure
 //	abcast-bench -systems acuerdo,apus   # subset of systems
 //	abcast-bench -measure 50ms -windows 1,4,16,64,256
+//	abcast-bench -parallel 0 -fp -json BENCH_figure8.json
+//
+// Every load point is an independent simulation, so -parallel spreads the
+// grid over a worker pool; the tables (and every deterministic field of the
+// -json artifact) are byte-identical for every worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -31,6 +37,9 @@ func main() {
 	measure := flag.Duration("measure", 20*time.Millisecond, "simulated measurement interval per load point")
 	warmup := flag.Duration("warmup", 4*time.Millisecond, "simulated warmup per load point")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 1, "worker pool size: 0 = GOMAXPROCS, 1 = serial")
+	jsonOut := flag.String("json", "", "write the sweep as a machine-readable JSON artifact to this file")
+	fp := flag.Bool("fp", false, "trace every load point so results carry replay fingerprints (same tables, slower)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the last load point to this file (also enables the latency-decomposition and layer-counter reports)")
 	flag.Parse()
 
@@ -66,6 +75,14 @@ func main() {
 		{3, 10}: "Figure 8a", {3, 1000}: "Figure 8b",
 		{7, 10}: "Figure 8c", {7, 1000}: "Figure 8d",
 	}
+	var art *bench.FileJSON
+	if *jsonOut != "" {
+		art = bench.NewFileJSON("figure8")
+	}
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	wallStart := time.Now()
+
 	var lastTrace *trace.Tracer
 	for _, n := range nodeCounts {
 		for _, sz := range sizes {
@@ -76,15 +93,19 @@ func main() {
 			if ws != nil {
 				cfg.Windows = ws
 			}
-			if *traceOut != "" {
+			if *traceOut != "" || *fp {
 				cfg.TraceEvents = trace.DefaultRing
 			}
 			title := sub[[2]int{n, sz}]
 			if title == "" {
 				title = "Figure 8 (custom)"
 			}
-			results := bench.Figure8(cfg, kinds)
+			results, rep := bench.Figure8Parallel(cfg, kinds, *parallel)
 			bench.PrintFigure8(os.Stdout, title, cfg, results, kinds)
+			if art != nil {
+				art.AddFigure8(cfg, results, kinds)
+				art.Workers = rep.Workers
+			}
 			if *traceOut != "" {
 				bench.PrintLayerReport(os.Stdout, results, kinds)
 				for _, k := range kinds {
@@ -95,6 +116,18 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+	if art != nil {
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		art.WallNS = int64(time.Since(wallStart))
+		art.Allocs = m1.Mallocs - m0.Mallocs
+		art.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
+		if err := art.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d points to %s\n", len(art.Points), *jsonOut)
 	}
 	if *traceOut != "" && lastTrace != nil {
 		f, err := os.Create(*traceOut)

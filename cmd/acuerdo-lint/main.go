@@ -1,11 +1,14 @@
 // Command acuerdo-lint is the multichecker driver for the determinism lint
 // suite in internal/lint. It type-checks the requested packages and runs the
 // nowallclock, maporder, and simproc analyzers over every simulation-driven
-// package, exiting nonzero if any rule fires.
+// package — plus exportdoc over the harness API packages — exiting nonzero
+// if any rule fires. Scope is per analyzer (see lint.Analyzer.InScope):
+// internal/sweep, which deliberately uses real goroutines and wall-clock,
+// is exempt from the determinism passes but not from exportdoc.
 //
 // Usage:
 //
-//	go run ./cmd/acuerdo-lint [-analyzers=nowallclock,maporder,simproc] [packages]
+//	go run ./cmd/acuerdo-lint [-analyzers=nowallclock,maporder,simproc,exportdoc] [packages]
 //
 // With no package arguments it checks ./.... Findings print as
 // file:line:col: message (analyzer). A finding can be locally waived with a
@@ -76,14 +79,23 @@ func main() {
 
 	exit := 0
 	for _, pkg := range pkgs {
-		if !lint.InScope(pkg.PkgPath) {
+		// Scope is per analyzer: exportdoc covers only the harness API
+		// packages, nowallclock/simproc exempt internal/sweep, the rest use
+		// the suite default.
+		var active []*lint.Analyzer
+		for _, az := range analyzers {
+			if az.AppliesTo(pkg.PkgPath) {
+				active = append(active, az)
+			}
+		}
+		if len(active) == 0 {
 			continue
 		}
 		for _, terr := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "acuerdo-lint: %s: %v\n", pkg.PkgPath, terr)
 			exit = 2
 		}
-		diags, err := lint.RunAnalyzers(pkg, analyzers)
+		diags, err := lint.RunAnalyzers(pkg, active)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "acuerdo-lint:", err)
 			os.Exit(2)

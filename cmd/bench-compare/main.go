@@ -1,0 +1,48 @@
+// Command bench-compare diffs two benchmark JSON artifacts written by
+// abcast-bench -json and exits non-zero on a regression. Deterministic
+// fields (committed counts, simulated time, throughput, latency quantiles,
+// trace fingerprints) must match exactly; wall-clock is compared only
+// within -wall-tolerance, and a negative tolerance skips it entirely —
+// use that when the baseline was measured on a different machine.
+//
+// Usage:
+//
+//	bench-compare -baseline BENCH_baseline.json -current out.json
+//	bench-compare -baseline a.json -current b.json -wall-tolerance 0.10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"acuerdo/internal/bench"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline artifact (required)")
+	current := flag.String("current", "", "artifact to check against the baseline (required)")
+	wallTol := flag.Float64("wall-tolerance", -1, "allowed fractional wall-clock growth (0.10 = +10%); negative skips the wall-clock check")
+	flag.Parse()
+
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "bench-compare: -baseline and -current are both required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := bench.ReadBenchFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := bench.ReadBenchFile(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+		os.Exit(2)
+	}
+	if err := bench.CompareBaseline(cur, base, *wallTol); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-compare: REGRESSION: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bench-compare: %d points match baseline %s\n", len(cur.Points), *baseline)
+}

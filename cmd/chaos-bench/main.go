@@ -15,6 +15,7 @@
 //	chaos-bench -systems acuerdo,etcd    # subset of systems
 //	chaos-bench -scenarios leader-kill-storm
 //	chaos-bench -nodes 5 -seed 7 -v      # fired-action detail per run
+//	chaos-bench -parallel 0              # one worker per core, same tables
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 	systems := flag.String("systems", "", "comma-separated system subset (default: all)")
 	scenarios := flag.String("scenarios", "", "comma-separated scenario subset (default: all)")
 	short := flag.Bool("short", false, "trimmed horizons for the CI chaos lane")
+	parallel := flag.Int("parallel", 1, "worker pool size: 0 = GOMAXPROCS, 1 = serial")
 	verbose := flag.Bool("v", false, "print per-run fired actions and unavailability windows")
 	flag.Parse()
 
@@ -81,7 +83,7 @@ func main() {
 	exit := 0
 	for _, sc := range all {
 		fmt.Printf("scenario %s (%d nodes, seed %d)\n", sc.Name, *nodes, *seed)
-		results := bench.RunScenarioAll(sc, cfg, kinds)
+		results, _ := bench.RunScenarioAllParallel(sc, cfg, kinds, *parallel)
 		bench.PrintRecoveryTable(os.Stdout, results)
 		for _, r := range results {
 			if *verbose {

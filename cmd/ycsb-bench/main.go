@@ -6,6 +6,7 @@
 //
 //	ycsb-bench
 //	ycsb-bench -counts 3,5 -measure 50ms -window 128
+//	ycsb-bench -parallel 0               # one worker per core, same table
 package main
 
 import (
@@ -26,29 +27,25 @@ func main() {
 	value := flag.Int("value", 100, "value bytes per write")
 	measure := flag.Duration("measure", 30*time.Millisecond, "simulated measurement interval")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 1, "worker pool size: 0 = GOMAXPROCS, 1 = serial")
 	flag.Parse()
 
-	var ns []int
+	var cfgs []bench.YCSBConfig
 	for _, s := range strings.Split(*counts, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || n < 3 {
 			fmt.Fprintf(os.Stderr, "bad node count %q\n", s)
 			os.Exit(2)
 		}
-		ns = append(ns, n)
+		cfg := bench.DefaultYCSB(n)
+		cfg.Window = *window
+		cfg.Records = *records
+		cfg.Value = *value
+		cfg.Measure = *measure
+		cfg.Seed = *seed
+		cfgs = append(cfgs, cfg)
 	}
 
-	out := make(map[bench.Kind][]bench.YCSBResult)
-	for _, k := range bench.YCSBSystems {
-		for _, n := range ns {
-			cfg := bench.DefaultYCSB(n)
-			cfg.Window = *window
-			cfg.Records = *records
-			cfg.Value = *value
-			cfg.Measure = *measure
-			cfg.Seed = *seed
-			out[k] = append(out[k], bench.RunYCSB(k, cfg))
-		}
-	}
+	out, _ := bench.RunYCSBAllParallel(bench.YCSBSystems, cfgs, *parallel)
 	bench.PrintFigure9(os.Stdout, out)
 }

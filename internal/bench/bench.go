@@ -18,6 +18,7 @@ import (
 	"acuerdo/internal/raft"
 	"acuerdo/internal/rdma"
 	"acuerdo/internal/simnet"
+	"acuerdo/internal/sweep"
 	"acuerdo/internal/tcpnet"
 	"acuerdo/internal/trace"
 	"acuerdo/internal/zab"
@@ -224,64 +225,115 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 
 // Fig8Config parameterizes one subfigure.
 type Fig8Config struct {
-	Nodes   int
+	// Nodes is the cluster size of the subfigure.
+	Nodes int
+	// MsgSize is the payload size in bytes (10 or 1000 in the paper).
 	MsgSize int
+	// Windows is the closed-loop load ladder (outstanding messages).
 	Windows []int
+	// Warmup and Measure are per-point simulated durations.
 	Warmup  time.Duration
 	Measure time.Duration
-	Seed    int64
+	// Seed seeds point i's private simulator with Seed+i, which is what
+	// makes every grid point an independent, parallelizable world.
+	Seed int64
 	// TraceEvents, when > 0, installs a fresh tracer with that ring capacity
 	// on every load point, enabling the latency decomposition columns and
 	// Chrome-trace export of the last point.
 	TraceEvents int
+	// MinCommitted, when > 0, extends a point's measurement window until at
+	// least that many deliveries land (see abcast.LoadConfig.MinCommitted).
+	MinCommitted int
+	// MaxMeasure caps the adaptive extension; zero means 10× Measure.
+	MaxMeasure time.Duration
 }
 
 // DefaultWindows is the paper's 2^0..2^N load ladder.
 var DefaultWindows = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
+// MinSamplesPerPoint is the delivery quota a default sweep point must meet:
+// the measurement window extends (up to 10×) until at least this many
+// deliveries land, so heavily loaded points — etcd at window 256 exceeds
+// the 20 ms window with a handful of commits — report quantiles over a
+// usable sample count instead of an under-filled window.
+const MinSamplesPerPoint = 50
+
 // DefaultFig8 returns the configuration for one of the four subfigures.
 func DefaultFig8(nodes, msgSize int) Fig8Config {
 	return Fig8Config{
-		Nodes:   nodes,
-		MsgSize: msgSize,
-		Windows: DefaultWindows,
-		Warmup:  4 * time.Millisecond,
-		Measure: 20 * time.Millisecond,
-		Seed:    1,
+		Nodes:        nodes,
+		MsgSize:      msgSize,
+		Windows:      DefaultWindows,
+		Warmup:       4 * time.Millisecond,
+		Measure:      20 * time.Millisecond,
+		Seed:         1,
+		MinCommitted: MinSamplesPerPoint,
 	}
+}
+
+// RunPoint measures grid point i (window cfg.Windows[i]) of one system's
+// ladder on a fresh, privately seeded instance. It is the unit of work both
+// the serial and the parallel sweeps execute, which is why their results
+// are identical byte for byte.
+func RunPoint(kind Kind, cfg Fig8Config, i int) abcast.LoadResult {
+	var opt Options
+	if cfg.TraceEvents > 0 {
+		opt.Tracer = trace.New(cfg.TraceEvents)
+	}
+	inst := NewInstance(kind, cfg.Nodes, cfg.Seed+int64(i), opt)
+	return abcast.RunClosedLoop(inst.Sim, inst.Sys, abcast.LoadConfig{
+		Window:       cfg.Windows[i],
+		MsgSize:      cfg.MsgSize,
+		Warmup:       cfg.Warmup,
+		Measure:      cfg.Measure,
+		MinCommitted: cfg.MinCommitted,
+		MaxMeasure:   cfg.MaxMeasure,
+	})
 }
 
 // SweepSystem measures one system across the window ladder; each point runs
 // on a fresh instance for independence.
 func SweepSystem(kind Kind, cfg Fig8Config) []abcast.LoadResult {
 	out := make([]abcast.LoadResult, 0, len(cfg.Windows))
-	for i, w := range cfg.Windows {
-		var opt Options
-		if cfg.TraceEvents > 0 {
-			opt.Tracer = trace.New(cfg.TraceEvents)
-		}
-		inst := NewInstance(kind, cfg.Nodes, cfg.Seed+int64(i), opt)
-		res := abcast.RunClosedLoop(inst.Sim, inst.Sys, abcast.LoadConfig{
-			Window:  w,
-			MsgSize: cfg.MsgSize,
-			Warmup:  cfg.Warmup,
-			Measure: cfg.Measure,
-		})
-		out = append(out, res)
+	for i := range cfg.Windows {
+		out = append(out, RunPoint(kind, cfg, i))
 	}
 	return out
 }
 
-// Figure8 runs every system for one subfigure.
+// Figure8 runs every system for one subfigure, serially.
 func Figure8(cfg Fig8Config, kinds []Kind) map[Kind][]abcast.LoadResult {
+	out, _ := Figure8Parallel(cfg, kinds, 1)
+	return out
+}
+
+// Figure8Parallel runs one subfigure's (system × window) grid on a worker
+// pool. Every grid point is a sealed world — its own simulator, seeded only
+// by (cfg.Seed, window index) — so the merged result is identical for every
+// worker count, including 1; only the sweep.Report (host wall-clock,
+// steals) varies. workers <= 0 selects GOMAXPROCS.
+func Figure8Parallel(cfg Fig8Config, kinds []Kind, workers int) (map[Kind][]abcast.LoadResult, sweep.Report) {
 	if kinds == nil {
 		kinds = AllKinds
 	}
-	out := make(map[Kind][]abcast.LoadResult, len(kinds))
-	for _, k := range kinds {
-		out[k] = SweepSystem(k, cfg)
+	type job struct {
+		k Kind
+		i int
 	}
-	return out
+	jobs := make([]job, 0, len(kinds)*len(cfg.Windows))
+	for _, k := range kinds {
+		for i := range cfg.Windows {
+			jobs = append(jobs, job{k, i})
+		}
+	}
+	results, rep := sweep.Run(len(jobs), workers, func(j int) abcast.LoadResult {
+		return RunPoint(jobs[j].k, cfg, jobs[j].i)
+	})
+	out := make(map[Kind][]abcast.LoadResult, len(kinds))
+	for j, r := range results {
+		out[jobs[j].k] = append(out[jobs[j].k], r)
+	}
+	return out, rep
 }
 
 // PrintFigure8 renders one subfigure's series as the paper's

@@ -14,6 +14,7 @@ import (
 	"acuerdo/internal/abcast"
 	"acuerdo/internal/chaos"
 	"acuerdo/internal/simnet"
+	"acuerdo/internal/sweep"
 	"acuerdo/internal/trace"
 )
 
@@ -26,12 +27,22 @@ type chaosTarget struct{ inst *Instance }
 // ChaosTarget exposes the instance's fault-control surface.
 func (inst *Instance) ChaosTarget() chaos.Target { return chaosTarget{inst} }
 
-func (t chaosTarget) Replicas() int                { return t.inst.N }
-func (t chaosTarget) Leader() int                  { return t.inst.leaderIdx() }
-func (t chaosTarget) Crash(i int)                  { t.inst.crash(i) }
-func (t chaosTarget) Restart(i int)                { t.inst.restart(i) }
+// Replicas reports the cluster size.
+func (t chaosTarget) Replicas() int { return t.inst.N }
+
+// Leader reports the current leader's replica index.
+func (t chaosTarget) Leader() int { return t.inst.leaderIdx() }
+
+// Crash kills replica i through the system's own crash path.
+func (t chaosTarget) Crash(i int) { t.inst.crash(i) }
+
+// Restart brings a crashed replica i back through the system's recovery path.
+func (t chaosTarget) Restart(i int) { t.inst.restart(i) }
+
+// Pause deschedules replica i's process for d of simulated time.
 func (t chaosTarget) Pause(i int, d time.Duration) { t.inst.proc(i).Pause(d) }
 
+// CutOneWay drops all traffic from replica i to replica j.
 func (t chaosTarget) CutOneWay(i, j int) {
 	a, b := t.inst.nodeID(i), t.inst.nodeID(j)
 	if t.inst.Fabric != nil {
@@ -41,6 +52,7 @@ func (t chaosTarget) CutOneWay(i, j int) {
 	}
 }
 
+// HealOneWay restores the i→j direction cut by CutOneWay.
 func (t chaosTarget) HealOneWay(i, j int) {
 	a, b := t.inst.nodeID(i), t.inst.nodeID(j)
 	if t.inst.Fabric != nil {
@@ -50,6 +62,7 @@ func (t chaosTarget) HealOneWay(i, j int) {
 	}
 }
 
+// SetLoss sets the loss probability on the i↔j link (0 clears it).
 func (t chaosTarget) SetLoss(i, j int, p float64) {
 	a, b := t.inst.nodeID(i), t.inst.nodeID(j)
 	if t.inst.Fabric != nil {
@@ -59,6 +72,8 @@ func (t chaosTarget) SetLoss(i, j int, p float64) {
 	}
 }
 
+// SetLatencySpike adds d of extra one-way latency on the i↔j link
+// (0 clears it).
 func (t chaosTarget) SetLatencySpike(i, j int, d time.Duration) {
 	a, b := t.inst.nodeID(i), t.inst.nodeID(j)
 	if t.inst.Fabric != nil {
@@ -276,16 +291,23 @@ func RunScenario(kind Kind, sc chaos.Scenario, cfg ChaosConfig) ChaosResult {
 }
 
 // RunScenarioAll runs every listed system under the same scenario and
-// configuration (nil kinds = the full Figure 8 set).
+// configuration (nil kinds = the full Figure 8 set), serially.
 func RunScenarioAll(sc chaos.Scenario, cfg ChaosConfig, kinds []Kind) []ChaosResult {
+	out, _ := RunScenarioAllParallel(sc, cfg, kinds, 1)
+	return out
+}
+
+// RunScenarioAllParallel is RunScenarioAll on a worker pool: each system's
+// run is a sealed world (its own simulator and tracer built from cfg.Seed),
+// so results — fingerprints included — are identical for every worker
+// count. workers <= 0 selects GOMAXPROCS.
+func RunScenarioAllParallel(sc chaos.Scenario, cfg ChaosConfig, kinds []Kind, workers int) ([]ChaosResult, sweep.Report) {
 	if kinds == nil {
 		kinds = AllKinds
 	}
-	out := make([]ChaosResult, 0, len(kinds))
-	for _, k := range kinds {
-		out = append(out, RunScenario(k, sc, cfg))
-	}
-	return out
+	return sweep.Run(len(kinds), workers, func(i int) ChaosResult {
+		return RunScenario(kinds[i], sc, cfg)
+	})
 }
 
 // PrintRecoveryTable renders the cross-system recovery benchmark: per

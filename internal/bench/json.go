@@ -1,0 +1,199 @@
+// JSON results emitter and baseline comparator. Every sweep can be written
+// to a machine-readable file (BENCH_figure8.json at the repo root is the
+// committed artifact) so performance has a trajectory across commits, and
+// CompareBaseline turns two such files into a pass/fail regression verdict
+// for CI.
+//
+// The format separates two classes of fields on purpose:
+//
+//   - deterministic fields (committed counts, simulated elapsed time,
+//     throughput, latency quantiles, trace fingerprints) are pure functions
+//     of the seed and must match a baseline exactly on an unchanged tree;
+//   - host fields (wall-clock, workers, gomaxprocs, allocations) describe
+//     the machine and run and are compared only within a tolerance, or not
+//     at all.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"acuerdo/internal/abcast"
+)
+
+// LatencyJSON is a latency histogram summary in nanoseconds of simulated
+// time. All fields are deterministic.
+type LatencyJSON struct {
+	// MeanNS through MaxNS summarize the per-message commit latency
+	// distribution of one load point.
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P90NS  int64 `json:"p90_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	P999NS int64 `json:"p999_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+// PointJSON is one grid point of a sweep: one (system, nodes, payload,
+// window, seed) cell with its measured results. WallNS is host metadata;
+// everything else is deterministic.
+type PointJSON struct {
+	// System, Nodes, MsgSize, Window, and Seed identify the grid cell.
+	System  string `json:"system"`
+	Nodes   int    `json:"nodes"`
+	MsgSize int    `json:"msg_size"`
+	Window  int    `json:"window"`
+	Seed    int64  `json:"seed"`
+	// Committed is the number of acknowledged messages in the measurement
+	// window; ElapsedNS is that window's simulated length (it can exceed
+	// the configured Measure when the adaptive extension kicked in).
+	Committed int   `json:"committed"`
+	ElapsedNS int64 `json:"elapsed_sim_ns"`
+	// MBPerSec and MsgsPerSec are the point's saturation throughput.
+	MBPerSec   float64 `json:"mb_per_sec"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	// Latency summarizes the commit-latency distribution.
+	Latency LatencyJSON `json:"latency"`
+	// TraceFP is the run's trace fingerprint as 16 hex digits, present only
+	// when the sweep ran with tracing; TraceEvents is how many events the
+	// tracer observed.
+	TraceFP     string `json:"trace_fp,omitempty"`
+	TraceEvents uint64 `json:"trace_events,omitempty"`
+	// WallNS is the host wall-clock time the point took (machine-dependent).
+	WallNS int64 `json:"wall_ns"`
+}
+
+// FileJSON is a whole sweep artifact: identification, host metadata, and
+// the deterministic grid points.
+type FileJSON struct {
+	// Name identifies the sweep ("figure8", "figure8-short", ...).
+	Name string `json:"name"`
+	// GoMaxProcs, Workers, WallNS, Allocs, and AllocBytes are host
+	// metadata: the pool size the sweep ran with, its total wall-clock
+	// time, and the heap objects/bytes it allocated.
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+	WallNS     int64  `json:"wall_ns"`
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// Points holds the deterministic grid results, in grid order.
+	Points []PointJSON `json:"points"`
+}
+
+// NewFileJSON creates an empty artifact for the named sweep, stamping the
+// host's GOMAXPROCS.
+func NewFileJSON(name string) *FileJSON {
+	return &FileJSON{Name: name, GoMaxProcs: runtime.GOMAXPROCS(0)}
+}
+
+// AddFigure8 appends one subfigure's results in deterministic grid order
+// (kinds outer, windows inner — the same order the tables print in).
+func (f *FileJSON) AddFigure8(cfg Fig8Config, results map[Kind][]abcast.LoadResult, kinds []Kind) {
+	if kinds == nil {
+		kinds = AllKinds
+	}
+	for _, k := range kinds {
+		for i, r := range results[k] {
+			s := r.Latency.Export()
+			p := PointJSON{
+				System:     r.System,
+				Nodes:      cfg.Nodes,
+				MsgSize:    cfg.MsgSize,
+				Window:     r.Window,
+				Seed:       cfg.Seed + int64(i),
+				Committed:  r.Committed,
+				ElapsedNS:  int64(r.Elapsed),
+				MBPerSec:   r.MBPerSec,
+				MsgsPerSec: r.MsgsPerSec,
+				Latency: LatencyJSON{
+					MeanNS: int64(s.Mean), P50NS: int64(s.P50), P90NS: int64(s.P90),
+					P99NS: int64(s.P99), P999NS: int64(s.P999), MaxNS: int64(s.Max),
+				},
+			}
+			if r.Trace != nil {
+				p.TraceFP = fmt.Sprintf("%016x", r.Trace.Fingerprint())
+				p.TraceEvents = r.Trace.Emitted()
+			}
+			f.Points = append(f.Points, p)
+		}
+	}
+}
+
+// WriteFile writes the artifact as indented JSON (byte-stable given the
+// same contents: encoding/json orders struct fields by declaration).
+func (f *FileJSON) WriteFile(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchFile parses an artifact previously written by WriteFile.
+func ReadBenchFile(path string) (*FileJSON, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f FileJSON
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// CompareBaseline checks cur against base and returns a non-nil error on
+// the first regression found.
+//
+// Deterministic fields must match exactly: the points must identify the
+// same grid in the same order, and every committed count, simulated
+// elapsed time, throughput, latency quantile, and (when both sides carry
+// one) trace fingerprint must be equal. A mismatch means the simulation's
+// behaviour changed — which is either a bug or a change that must
+// regenerate the committed baseline.
+//
+// Wall-clock is host metadata and is compared only when wallTol >= 0:
+// cur.WallNS may exceed base.WallNS by at most that fraction (0.10 = +10%).
+// Pass a negative wallTol when the two files come from different machines —
+// e.g. a freshly measured sweep against the committed baseline. Allocation
+// counts are informational and never compared.
+func CompareBaseline(cur, base *FileJSON, wallTol float64) error {
+	if len(cur.Points) != len(base.Points) {
+		return fmt.Errorf("bench: %d points, baseline has %d", len(cur.Points), len(base.Points))
+	}
+	for i := range cur.Points {
+		c, b := &cur.Points[i], &base.Points[i]
+		id := fmt.Sprintf("point %d (%s nodes=%d size=%d window=%d)", i, b.System, b.Nodes, b.MsgSize, b.Window)
+		if c.System != b.System || c.Nodes != b.Nodes || c.MsgSize != b.MsgSize || c.Window != b.Window || c.Seed != b.Seed {
+			return fmt.Errorf("bench: %s: grid mismatch, got (%s nodes=%d size=%d window=%d seed=%d)",
+				id, c.System, c.Nodes, c.MsgSize, c.Window, c.Seed)
+		}
+		if c.Committed != b.Committed {
+			return fmt.Errorf("bench: %s: committed %d, baseline %d", id, c.Committed, b.Committed)
+		}
+		if c.ElapsedNS != b.ElapsedNS {
+			return fmt.Errorf("bench: %s: simulated elapsed %d ns, baseline %d ns", id, c.ElapsedNS, b.ElapsedNS)
+		}
+		if c.MBPerSec != b.MBPerSec || c.MsgsPerSec != b.MsgsPerSec {
+			return fmt.Errorf("bench: %s: throughput %.6f MB/s / %.3f msg/s, baseline %.6f / %.3f",
+				id, c.MBPerSec, c.MsgsPerSec, b.MBPerSec, b.MsgsPerSec)
+		}
+		if c.Latency != b.Latency {
+			return fmt.Errorf("bench: %s: latency %+v, baseline %+v", id, c.Latency, b.Latency)
+		}
+		if c.TraceFP != "" && b.TraceFP != "" && c.TraceFP != b.TraceFP {
+			return fmt.Errorf("bench: %s: trace fingerprint %s, baseline %s", id, c.TraceFP, b.TraceFP)
+		}
+	}
+	if wallTol >= 0 && base.WallNS > 0 {
+		limit := int64(float64(base.WallNS) * (1 + wallTol))
+		if cur.WallNS > limit {
+			return fmt.Errorf("bench: wall-clock %v exceeds baseline %v by more than %.0f%%",
+				time.Duration(cur.WallNS), time.Duration(base.WallNS), wallTol*100)
+		}
+	}
+	return nil
+}

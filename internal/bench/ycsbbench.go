@@ -8,6 +8,7 @@ import (
 
 	"acuerdo/internal/kvstore"
 	"acuerdo/internal/metrics"
+	"acuerdo/internal/sweep"
 	"acuerdo/internal/ycsb"
 )
 
@@ -91,20 +92,51 @@ func RunYCSB(kind Kind, cfg YCSBConfig) YCSBResult {
 	return res
 }
 
-// Figure9 runs YCSB-load across node counts for the comparison systems.
+// Figure9 runs YCSB-load across node counts for the comparison systems,
+// serially.
 func Figure9(counts []int, seed int64) map[Kind][]YCSBResult {
+	out, _ := Figure9Parallel(counts, seed, 1)
+	return out
+}
+
+// Figure9Parallel runs the (system × node count) grid on a worker pool
+// with default per-count configurations. workers <= 0 selects GOMAXPROCS.
+func Figure9Parallel(counts []int, seed int64, workers int) (map[Kind][]YCSBResult, sweep.Report) {
 	if counts == nil {
 		counts = []int{3, 5, 7, 9}
 	}
-	out := make(map[Kind][]YCSBResult)
-	for _, k := range YCSBSystems {
-		for _, n := range counts {
-			cfg := DefaultYCSB(n)
-			cfg.Seed = seed
-			out[k] = append(out[k], RunYCSB(k, cfg))
+	cfgs := make([]YCSBConfig, 0, len(counts))
+	for _, n := range counts {
+		cfg := DefaultYCSB(n)
+		cfg.Seed = seed
+		cfgs = append(cfgs, cfg)
+	}
+	return RunYCSBAllParallel(YCSBSystems, cfgs, workers)
+}
+
+// RunYCSBAllParallel runs every (system, config) pair on a worker pool and
+// merges the results per system, in configuration order. Each point boots
+// its own instance from its config's seed, so results are identical for
+// every worker count. workers <= 0 selects GOMAXPROCS.
+func RunYCSBAllParallel(kinds []Kind, cfgs []YCSBConfig, workers int) (map[Kind][]YCSBResult, sweep.Report) {
+	type job struct {
+		k Kind
+		c YCSBConfig
+	}
+	jobs := make([]job, 0, len(kinds)*len(cfgs))
+	for _, k := range kinds {
+		for _, c := range cfgs {
+			jobs = append(jobs, job{k, c})
 		}
 	}
-	return out
+	results, rep := sweep.Run(len(jobs), workers, func(j int) YCSBResult {
+		return RunYCSB(jobs[j].k, jobs[j].c)
+	})
+	out := make(map[Kind][]YCSBResult)
+	for j, r := range results {
+		out[jobs[j].k] = append(out[jobs[j].k], r)
+	}
+	return out, rep
 }
 
 // PrintFigure9 renders Figure 9.

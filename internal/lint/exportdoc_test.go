@@ -1,0 +1,42 @@
+package lint_test
+
+import (
+	"testing"
+
+	"acuerdo/internal/lint"
+	"acuerdo/internal/lint/linttest"
+)
+
+func TestExportDoc(t *testing.T) {
+	linttest.Run(t, linttest.Testdata(t, "."), lint.ExportDoc, "exportdoc")
+}
+
+func TestAppliesTo(t *testing.T) {
+	cases := []struct {
+		az   *lint.Analyzer
+		pkg  string
+		want bool
+	}{
+		// Suite default: simulation-driven internal packages, not lint itself.
+		{lint.MapOrder, "acuerdo/internal/raft", true},
+		{lint.MapOrder, "acuerdo/internal/lint", false},
+		{lint.MapOrder, "acuerdo/cmd/abcast-bench", false},
+		// internal/sweep is the sanctioned host-concurrency exception.
+		{lint.NoWallClock, "acuerdo/internal/sweep", false},
+		{lint.SimProc, "acuerdo/internal/sweep", false},
+		{lint.MapOrder, "acuerdo/internal/sweep", true},
+		{lint.NoWallClock, "acuerdo/internal/raft", true},
+		// exportdoc covers exactly the harness API packages.
+		{lint.ExportDoc, "acuerdo/internal/sweep", true},
+		{lint.ExportDoc, "acuerdo/internal/bench", true},
+		{lint.ExportDoc, "acuerdo/internal/chaos", true},
+		{lint.ExportDoc, "acuerdo/internal/trace", true},
+		{lint.ExportDoc, "acuerdo/internal/raft", false},
+		{lint.ExportDoc, "acuerdo/internal/lint", false},
+	}
+	for _, c := range cases {
+		if got := c.az.AppliesTo(c.pkg); got != c.want {
+			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.az.Name, c.pkg, got, c.want)
+		}
+	}
+}

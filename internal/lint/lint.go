@@ -1,7 +1,8 @@
 // Package lint implements the determinism lint suite that guards the
 // simulation's core invariant: two runs with the same seed execute the same
 // events and report identical latencies (see internal/simnet). Three
-// analyzers enforce the discipline statically:
+// analyzers enforce the discipline statically, and a fourth guards the
+// documentation of the harness API:
 //
 //   - nowallclock: protocol and fabric code must use the simnet clock and the
 //     Sim's seeded RNG, never the wall clock (time.Now, time.Sleep, ...) or
@@ -13,6 +14,13 @@
 //   - simproc: concurrency in simulation-driven packages must go through
 //     simnet.Proc; raw goroutines and real-time timer channels race against
 //     the virtual clock.
+//   - exportdoc: exported identifiers in the harness API packages (sweep,
+//     bench, chaos, trace) must carry doc comments.
+//
+// internal/sweep is the deliberate exception to the determinism rules: it
+// runs independent simulations on real goroutines and measures host
+// wall-clock, so nowallclock and simproc exempt it (per-analyzer InScope)
+// while exportdoc covers it.
 //
 // The API mirrors golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic)
 // so the passes could be lifted onto the real driver if the dependency ever
@@ -37,6 +45,24 @@ type Analyzer struct {
 	Doc string
 	// Run executes the pass, reporting findings through pass.Reportf.
 	Run func(*Pass) error
+	// InScope, when non-nil, overrides the suite-wide InScope default for
+	// this pass — either widening it (exportdoc covers only the harness API
+	// packages) or narrowing it (nowallclock and simproc exempt
+	// internal/sweep, the one package that deliberately uses real
+	// goroutines and the wall clock). The driver consults it through
+	// AppliesTo; fixture tests call RunAnalyzers directly and bypass
+	// scoping entirely.
+	InScope func(pkgPath string) bool
+}
+
+// AppliesTo reports whether the analyzer should run over the package with
+// the given import path: the per-analyzer InScope override when set, the
+// suite default otherwise.
+func (az *Analyzer) AppliesTo(pkgPath string) bool {
+	if az.InScope != nil {
+		return az.InScope(pkgPath)
+	}
+	return InScope(pkgPath)
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -64,7 +90,7 @@ type Diagnostic struct {
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoWallClock, MapOrder, SimProc}
+	return []*Analyzer{NoWallClock, MapOrder, SimProc, ExportDoc}
 }
 
 // InScope reports whether the determinism analyzers apply to the package with

@@ -20,6 +20,11 @@ var NoWallClock = &Analyzer{
 	Doc: "forbid time.Now/Sleep/After/Tick and global math/rand functions in " +
 		"simulation-driven packages; use the simnet clock and Sim.Rand instead",
 	Run: runNoWallClock,
+	// internal/sweep measures host wall-clock by design (its Report is never
+	// folded into deterministic output), so it is exempt.
+	InScope: func(pkgPath string) bool {
+		return InScope(pkgPath) && pkgPath != "acuerdo/internal/sweep"
+	},
 }
 
 // bannedWallClock maps package path -> function names whose use breaks

@@ -17,6 +17,11 @@ var SimProc = &Analyzer{
 	Doc: "forbid go statements and real-time timer channels in " +
 		"simulation-driven packages; model concurrency with simnet.Proc",
 	Run: runSimProc,
+	// internal/sweep runs sealed simulations on a real goroutine pool by
+	// design — the one sanctioned use of host concurrency — so it is exempt.
+	InScope: func(pkgPath string) bool {
+		return InScope(pkgPath) && pkgPath != "acuerdo/internal/sweep"
+	},
 }
 
 func runSimProc(pass *Pass) error {

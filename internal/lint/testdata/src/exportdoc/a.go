@@ -1,0 +1,50 @@
+// Package exportdoc is the fixture for the exportdoc analyzer: exported
+// top-level identifiers without doc comments are flagged; documented ones,
+// unexported ones, and grouped declarations covered by a group comment are
+// not.
+package exportdoc
+
+import "time"
+
+// Documented is fine.
+type Documented struct{}
+
+type Bare struct{} // want `exported type Bare is missing a doc comment`
+
+type internalOnly struct{}
+
+// DocumentedFunc is fine.
+func DocumentedFunc() {}
+
+func BareFunc() {} // want `exported function BareFunc is missing a doc comment`
+
+func internalFunc() {}
+
+// Method docs count too.
+func (Documented) Documented() {}
+
+func (Documented) Bare() {} // want `exported method Bare is missing a doc comment`
+
+func (internalOnly) AlsoBare() {} // want `exported method AlsoBare is missing a doc comment`
+
+// A group comment covers every name in the block.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const BareConst = 3 // want `exported const BareConst is missing a doc comment`
+
+// DocumentedVar is fine.
+var DocumentedVar int
+
+var BareVar time.Duration // want `exported var BareVar is missing a doc comment`
+
+var (
+	// Spec-level docs inside an undocumented group are fine.
+	SpecDocumented int
+
+	SpecBare int // want `exported var SpecBare is missing a doc comment`
+)
+
+var inlineCommented = 4 // unexported, trailing comments never flag

@@ -578,14 +578,18 @@ func (s *Server) propose(payload []byte) {
 	if s.seen[id] {
 		return // already in the log, still in flight
 	}
+	// Copy before deferring: payload aliases the connection's frame buffer,
+	// which the transport recycles when this handler returns. The log entry
+	// needed its own copy anyway; take it now so the closure owns its bytes.
+	p := append([]byte(nil), payload...)
 	s.node.Proc.Run(s.c.cfg.LeaderOpCost, func() {
 		if s.role != leader || s.seen[id] || s.appliedIDs[id] {
 			return
 		}
 		s.seen[id] = true
-		s.log = append(s.log, entry{term: s.term, payload: append([]byte(nil), payload...)})
+		s.log = append(s.log, entry{term: s.term, payload: p})
 		if tr := s.c.Sim.Tracer(); tr != nil {
-			tr.Instant(trace.KPropose, s.id, int64(s.c.Sim.Now()), trace.ID(payload), int64(len(s.log)))
+			tr.Instant(trace.KPropose, s.id, int64(s.c.Sim.Now()), trace.ID(p), int64(len(s.log)))
 			tr.Add(trace.CtrProposes, 1)
 		}
 		s.persist(len(s.log), func() {

@@ -93,6 +93,43 @@ type Fabric struct {
 	cut    map[[2]int]bool          // directed partition set, key [from, to]
 	loss   map[[2]int]float64       // directed loss probability windows
 	spike  map[[2]int]time.Duration // directed extra-latency windows
+
+	// bufFree recycles wire-frame payload copies. The sim is
+	// single-goroutine, so a plain slice free-list suffices; buffers are
+	// returned once their bytes land in the remote MR (or the write is
+	// dropped against a crashed node).
+	bufFree [][]byte
+}
+
+// getBuf returns a zeroed-length-n buffer from the fabric's wire-frame
+// free-list, allocating one (with power-of-two capacity) when none fits.
+func (f *Fabric) getBuf(n int) []byte {
+	// Scan a few entries from the top of the free-list; capacities are
+	// rounded to powers of two, so mixed ack/payload traffic still reuses.
+	for i := len(f.bufFree) - 1; i >= 0 && i >= len(f.bufFree)-8; i-- {
+		if cap(f.bufFree[i]) >= n {
+			b := f.bufFree[i]
+			last := len(f.bufFree) - 1
+			f.bufFree[i] = f.bufFree[last]
+			f.bufFree[last] = nil
+			f.bufFree = f.bufFree[:last]
+			return b[:n]
+		}
+	}
+	c := 64
+	for c < n {
+		c *= 2
+	}
+	return make([]byte, n, c)
+}
+
+// putBuf returns a wire-frame buffer to the free-list. Callers must not
+// touch the buffer afterwards.
+func (f *Fabric) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	f.bufFree = append(f.bufFree, b[:0])
 }
 
 // NewFabric creates an empty fabric.
@@ -372,11 +409,12 @@ type QP struct {
 }
 
 type parkedWrite struct {
-	apply    func()
+	remote   *MR
+	off      int
+	buf      []byte
 	signaled bool
 	wrid     uint64
 	ser      time.Duration
-	n        int
 }
 
 // parkedComp is a completion whose ack could not travel the reverse
@@ -480,7 +518,7 @@ func (qp *QP) flushParkedComps() {
 
 func (qp *QP) complete(at simnet.Time, wrid uint64, st CompletionStatus, data []byte) {
 	sim := qp.from.Fabric.Sim
-	sim.At(at, func() {
+	sim.Post(at, func() {
 		if qp.from.crashed {
 			return
 		}
@@ -532,13 +570,11 @@ func (qp *QP) write(remote *MR, off int, data []byte, signaled bool) (uint64, er
 	wrid := qp.nextWRID
 	qp.outstanding++
 
-	buf := make([]byte, len(data))
+	fb := qp.from.Fabric
+	buf := fb.getBuf(len(data))
 	copy(buf, data)
-	apply := func() {
-		copy(remote.Buf[off:], buf)
-	}
 
-	sim := qp.from.Fabric.Sim
+	sim := fb.Sim
 	deliverAt, ser := qp.post(len(data))
 	if tr := sim.Tracer(); tr != nil {
 		tr.Instant(trace.KWRPost, qp.from.ID, int64(sim.Now()), int64(wrid), int64(len(data)))
@@ -549,23 +585,25 @@ func (qp *QP) write(remote *MR, off int, data []byte, signaled bool) (uint64, er
 		}
 	}
 
-	if qp.from.Fabric.CutOneWay(qp.from.ID, qp.to.ID) {
-		qp.parked = append(qp.parked, parkedWrite{apply: apply, signaled: signaled, wrid: wrid, ser: ser, n: len(data)})
+	if fb.CutOneWay(qp.from.ID, qp.to.ID) {
+		qp.parked = append(qp.parked, parkedWrite{remote: remote, off: off, buf: buf, signaled: signaled, wrid: wrid, ser: ser})
 		return wrid, nil
 	}
 
-	sim.At(deliverAt, func() {
+	sim.Post(deliverAt, func() {
 		if qp.to.crashed {
 			// Remote NIC unreachable: error completion after retries.
+			fb.putBuf(buf)
 			if signaled {
 				qp.complete(deliverAt.Add(qp.params.RetryTimeout), wrid, Flushed, nil)
 			}
 			return
 		}
-		apply()
+		copy(remote.Buf[off:], buf)
 		if tr := sim.Tracer(); tr != nil {
 			tr.Instant(trace.KWireRx, qp.to.ID, int64(deliverAt), int64(wrid), int64(len(buf)))
 		}
+		fb.putBuf(buf)
 		if signaled {
 			qp.completeWire(deliverAt, wrid, OK, nil)
 		}
@@ -575,7 +613,8 @@ func (qp *QP) write(remote *MR, off int, data []byte, signaled bool) (uint64, er
 
 // flushParked redelivers writes parked during a partition, in order.
 func (qp *QP) flushParked() {
-	sim := qp.from.Fabric.Sim
+	fb := qp.from.Fabric
+	sim := fb.Sim
 	parked := qp.parked
 	qp.parked = nil
 	at := sim.Now()
@@ -586,19 +625,22 @@ func (qp *QP) flushParked() {
 			at = qp.lastDeliver + 1
 		}
 		qp.lastDeliver = at
-		sim.At(at, func() {
+		deliverAt := at
+		sim.Post(deliverAt, func() {
 			if qp.to.crashed {
+				fb.putBuf(pw.buf)
 				if pw.signaled {
-					qp.complete(at.Add(qp.params.RetryTimeout), pw.wrid, Flushed, nil)
+					qp.complete(deliverAt.Add(qp.params.RetryTimeout), pw.wrid, Flushed, nil)
 				}
 				return
 			}
-			pw.apply()
+			copy(pw.remote.Buf[pw.off:], pw.buf)
 			if tr := sim.Tracer(); tr != nil {
-				tr.Instant(trace.KWireRx, qp.to.ID, int64(at), int64(pw.wrid), int64(pw.n))
+				tr.Instant(trace.KWireRx, qp.to.ID, int64(deliverAt), int64(pw.wrid), int64(len(pw.buf)))
 			}
+			fb.putBuf(pw.buf)
 			if pw.signaled {
-				qp.completeWire(at, pw.wrid, OK, nil)
+				qp.completeWire(deliverAt, pw.wrid, OK, nil)
 			}
 		})
 	}
@@ -635,7 +677,7 @@ func (qp *QP) Read(remote *MR, off, n int) (uint64, error) {
 		qp.complete(reqAt.Add(p.RetryTimeout), wrid, Flushed, nil)
 		return wrid, nil
 	}
-	sim.At(reqAt, func() {
+	sim.Post(reqAt, func() {
 		if qp.to.crashed {
 			qp.complete(reqAt.Add(p.RetryTimeout), wrid, Flushed, nil)
 			return

@@ -135,7 +135,7 @@ func (p *Proc) Run(cost time.Duration, fn func()) Time {
 		tr.Add(trace.CtrProcTime, int64(cost))
 	}
 	epoch := p.epoch
-	p.Sim.At(done, func() {
+	p.Sim.Post(done, func() {
 		if p.alive && p.epoch == epoch && fn != nil {
 			fn()
 		}
@@ -153,7 +153,7 @@ func (p *Proc) RunAt(at Time, cost time.Duration, fn func()) {
 	if at < p.Sim.Now() {
 		at = p.Sim.Now()
 	}
-	p.Sim.At(at, func() {
+	p.Sim.Post(at, func() {
 		if p.alive && p.epoch == epoch {
 			p.Run(cost, fn)
 		}
@@ -183,7 +183,7 @@ func (p *Proc) PollLoop(interval, cost time.Duration, poll func()) (stop func())
 				tr.Add(trace.CtrPollTime, int64(cost))
 			}
 			poll()
-			p.Sim.After(interval, iter)
+			p.Sim.PostAfter(interval, iter)
 		})
 	}
 	iter()

@@ -37,12 +37,17 @@ func (t Time) String() string { return time.Duration(t).String() }
 
 // event is a scheduled callback. Events with equal timestamps fire in
 // scheduling order (seq), which keeps the simulation deterministic.
+//
+// Events are recycled through Sim.free once fired or stopped; gen is bumped
+// on every recycle so a stale Timer handle can detect that "its" event has
+// been reused for a different callback.
 type event struct {
 	at      Time
 	seq     uint64
 	fn      func()
 	stopped bool
-	index   int // heap index, -1 once popped
+	index   int    // heap index, -1 once popped
+	gen     uint64 // incremented each time the event is recycled
 }
 
 type eventHeap []*event
@@ -88,6 +93,11 @@ type Sim struct {
 	tracer  *trace.Tracer
 	procs   []*Proc
 
+	// free is a free-list of recycled events. The sim loop is
+	// single-goroutine by contract, so a plain slice (no sync.Pool, no
+	// locking) is enough to make steady-state event dispatch allocation-free.
+	free []*event
+
 	// Stats
 	processed uint64
 }
@@ -117,39 +127,71 @@ func (s *Sim) SetTracer(t *trace.Tracer) { s.tracer = t }
 func (s *Sim) Tracer() *trace.Tracer { return s.tracer }
 
 // Timer is a handle to a scheduled event that can be stopped before firing.
+//
+// The handle pins the event's generation at schedule time: once the event
+// fires (or is stopped) the underlying struct is recycled for a later
+// schedule, and any further Stop calls on the stale handle observe the
+// generation mismatch and report false instead of cancelling an unrelated
+// event.
 type Timer struct {
-	s  *Sim
-	ev *event
+	s   *Sim
+	ev  *event
+	gen uint64
 }
 
 // Stop cancels the timer. It reports whether the callback was prevented from
 // running (false if it already ran or was already stopped).
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.stopped {
+	if t == nil || t.ev == nil || t.ev.gen != t.gen || t.ev.stopped {
 		return false
 	}
 	if t.ev.index < 0 {
-		// Already popped; it either ran or is the currently-running event.
+		// Already popped: this is the currently-running event.
 		t.ev.stopped = true
 		return false
 	}
 	t.ev.stopped = true
 	heap.Remove(&t.s.events, t.ev.index)
 	t.s.pending--
+	t.s.recycle(t.ev)
 	return true
 }
 
-// At schedules fn to run at time at. Scheduling in the past panics: that is
-// always a logic error in a discrete-event model.
-func (s *Sim) At(at Time, fn func()) *Timer {
+// schedule enqueues fn at time at, reusing a recycled event when available.
+func (s *Sim) schedule(at Time, fn func()) *event {
 	if at < s.now {
 		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", at, s.now))
 	}
 	s.seq++
-	ev := &event{at: at, seq: s.seq, fn: fn}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.stopped = at, s.seq, fn, false
+	} else {
+		ev = &event{at: at, seq: s.seq, fn: fn}
+	}
 	heap.Push(&s.events, ev)
 	s.pending++
-	return &Timer{s: s, ev: ev}
+	return ev
+}
+
+// recycle returns a fired or stopped event to the free-list. Bumping gen
+// invalidates any Timer handle still pointing at it.
+func (s *Sim) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	s.free = append(s.free, ev)
+}
+
+// At schedules fn to run at time at and returns a Timer handle that can
+// cancel it. Scheduling in the past panics: that is always a logic error in
+// a discrete-event model. Hot paths that never cancel should use Post, which
+// skips the Timer allocation.
+func (s *Sim) At(at Time, fn func()) *Timer {
+	ev := s.schedule(at, fn)
+	return &Timer{s: s, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time.
@@ -160,12 +202,30 @@ func (s *Sim) After(d time.Duration, fn func()) *Timer {
 	return s.At(s.now.Add(d), fn)
 }
 
+// Post schedules fn to run at time at, like At, but returns no handle: the
+// event cannot be cancelled. Combined with the event free-list this makes
+// steady-state scheduling allocation-free, which matters because every
+// message send, completion, and poll iteration in the hot loop goes through
+// here.
+func (s *Sim) Post(at Time, fn func()) {
+	s.schedule(at, fn)
+}
+
+// PostAfter schedules fn to run d after the current time, without a handle.
+func (s *Sim) PostAfter(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.Post(s.now.Add(d), fn)
+}
+
 // Step executes the next pending event and reports whether one existed.
 func (s *Sim) Step() bool {
 	for s.events.Len() > 0 {
 		ev := heap.Pop(&s.events).(*event)
 		s.pending--
 		if ev.stopped {
+			s.recycle(ev)
 			continue
 		}
 		s.now = ev.at
@@ -174,7 +234,13 @@ func (s *Sim) Step() bool {
 			s.tracer.Instant(trace.KSimEvent, -1, int64(ev.at), int64(ev.seq), 0)
 			s.tracer.Add(trace.CtrSimEvents, 1)
 		}
-		ev.fn()
+		fn := ev.fn
+		// Recycle before running fn: fn may schedule new events, and letting
+		// them reuse this slot keeps the free-list small. The gen bump means
+		// a Timer for this event now reports false from Stop, matching the
+		// old "already ran" semantics.
+		s.recycle(ev)
+		fn()
 		return true
 	}
 	return false

@@ -1,0 +1,78 @@
+package sweep
+
+// Point is one cell of a benchmark grid: a fully specified, independent
+// simulation job. Index is the point's position in the deterministic grid
+// order, which is also the order results are merged in.
+type Point struct {
+	// System names the broadcast system under test.
+	System string
+	// Nodes is the cluster size.
+	Nodes int
+	// Payload is the message payload size in bytes.
+	Payload int
+	// Window is the closed-loop client's outstanding-message window.
+	Window int
+	// Seed seeds the point's private simulator.
+	Seed int64
+	// Index is the point's position in Grid.Points order.
+	Index int
+}
+
+// Grid describes a benchmark sweep as the cross product of its axes. Axes
+// left empty contribute a single zero-valued cell, so callers only populate
+// the dimensions they sweep.
+type Grid struct {
+	// Systems lists the broadcast systems to sweep.
+	Systems []string
+	// Nodes lists the cluster sizes to sweep.
+	Nodes []int
+	// Payloads lists the payload sizes (bytes) to sweep.
+	Payloads []int
+	// Windows lists the closed-loop windows to sweep.
+	Windows []int
+	// Seeds lists the simulator seeds to sweep.
+	Seeds []int64
+}
+
+// orDefault returns xs, or a one-element zero slice when xs is empty, so an
+// unswept axis still contributes one cell to the cross product.
+func orDefault[T any](xs []T) []T {
+	if len(xs) == 0 {
+		return make([]T, 1)
+	}
+	return xs
+}
+
+// Size returns the number of points the grid expands to.
+func (g Grid) Size() int {
+	return len(orDefault(g.Systems)) * len(orDefault(g.Nodes)) *
+		len(orDefault(g.Payloads)) * len(orDefault(g.Windows)) * len(orDefault(g.Seeds))
+}
+
+// Points expands the grid in deterministic order: systems vary slowest,
+// then nodes, payloads, windows, and seeds. The order is the contract that
+// makes merged sweep output byte-stable — it depends only on the grid, not
+// on how the points are scheduled.
+func (g Grid) Points() []Point {
+	systems := orDefault(g.Systems)
+	nodes := orDefault(g.Nodes)
+	payloads := orDefault(g.Payloads)
+	windows := orDefault(g.Windows)
+	seeds := orDefault(g.Seeds)
+	pts := make([]Point, 0, g.Size())
+	for _, sys := range systems {
+		for _, n := range nodes {
+			for _, p := range payloads {
+				for _, w := range windows {
+					for _, s := range seeds {
+						pts = append(pts, Point{
+							System: sys, Nodes: n, Payload: p,
+							Window: w, Seed: s, Index: len(pts),
+						})
+					}
+				}
+			}
+		}
+	}
+	return pts
+}

@@ -1,0 +1,126 @@
+package sweep
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Every job must run exactly once and land in its own slot, for any worker
+// count.
+func TestRunExecutesEveryJobOnce(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 2, 3, 4, 7, 16, 0} {
+		var calls [n]int32
+		out, rep := Run(n, workers, func(i int) int {
+			atomic.AddInt32(&calls[i], 1)
+			return i * i
+		})
+		for i := 0; i < n; i++ {
+			if calls[i] != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, calls[i])
+			}
+			if out[i] != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], i*i)
+			}
+		}
+		if rep.Jobs != n {
+			t.Fatalf("workers=%d: report says %d jobs", workers, rep.Jobs)
+		}
+	}
+}
+
+// Results must be identical across worker counts even when job durations
+// are wildly skewed (which forces stealing).
+func TestRunDeterministicUnderSkew(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(42))
+	delays := make([]time.Duration, n)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(3000)) * time.Microsecond
+	}
+	job := func(i int) int {
+		time.Sleep(delays[i])
+		return i * 7
+	}
+	serial, _ := Run(n, 1, job)
+	parallel, rep := Run(n, 8, job)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("slot %d: serial %d != parallel %d", i, serial[i], parallel[i])
+		}
+	}
+	if rep.Workers != 8 {
+		t.Fatalf("workers = %d, want 8", rep.Workers)
+	}
+}
+
+// A grossly unbalanced initial partition must be rebalanced by stealing:
+// with 4 workers and every job's cost concentrated in the first quarter,
+// the idle workers must pick up part of it.
+func TestRunSteals(t *testing.T) {
+	const n = 40
+	job := func(i int) int {
+		if i < 10 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		return i
+	}
+	_, rep := Run(n, 4, job)
+	if rep.Steals == 0 {
+		t.Fatal("no steals despite a skewed load")
+	}
+}
+
+func TestRunEdgeCases(t *testing.T) {
+	out, rep := Run(0, 4, func(i int) int { return i })
+	if len(out) != 0 || rep.Jobs != 0 {
+		t.Fatalf("n=0: out=%v rep=%+v", out, rep)
+	}
+	out, rep = Run(3, 100, func(i int) int { return i })
+	if rep.Workers != 3 {
+		t.Fatalf("workers not clamped to n: %d", rep.Workers)
+	}
+	if out[0] != 0 || out[1] != 1 || out[2] != 2 {
+		t.Fatalf("bad results: %v", out)
+	}
+}
+
+func TestGridPointsOrderAndSize(t *testing.T) {
+	g := Grid{
+		Systems:  []string{"a", "b"},
+		Nodes:    []int{3, 7},
+		Payloads: []int{10},
+		Windows:  []int{1, 2, 4},
+		Seeds:    []int64{1},
+	}
+	pts := g.Points()
+	if len(pts) != g.Size() || len(pts) != 12 {
+		t.Fatalf("got %d points, Size()=%d, want 12", len(pts), g.Size())
+	}
+	// Systems vary slowest, windows faster.
+	if pts[0].System != "a" || pts[6].System != "b" {
+		t.Fatalf("system order wrong: %+v", pts)
+	}
+	if pts[0].Window != 1 || pts[1].Window != 2 || pts[2].Window != 4 {
+		t.Fatalf("window order wrong: %+v", pts[:3])
+	}
+	for i, p := range pts {
+		if p.Index != i {
+			t.Fatalf("point %d has Index %d", i, p.Index)
+		}
+	}
+}
+
+// An empty axis contributes a single zero cell, not an empty product.
+func TestGridEmptyAxes(t *testing.T) {
+	g := Grid{Windows: []int{1, 2}}
+	pts := g.Points()
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	if pts[0].System != "" || pts[0].Nodes != 0 {
+		t.Fatalf("zero cell wrong: %+v", pts[0])
+	}
+}

@@ -23,8 +23,9 @@ func TestNetPartitionOneWay(t *testing.T) {
 	sim, net := faultNet(2)
 	a, b := net.Node(0), net.Node(1)
 	var gotB, gotA [][]byte
-	ab := a.Connect(b, func(m []byte) { gotB = append(gotB, m) })
-	ba := b.Connect(a, func(m []byte) { gotA = append(gotA, m) })
+	// Handlers copy what they keep: the frame is recycled after return.
+	ab := a.Connect(b, func(m []byte) { gotB = append(gotB, append([]byte(nil), m...)) })
+	ba := b.Connect(a, func(m []byte) { gotA = append(gotA, append([]byte(nil), m...)) })
 
 	net.PartitionOneWay(0, 1)
 	ab.Send([]byte("m1"))
@@ -51,7 +52,7 @@ func TestNetCrashDropsParked(t *testing.T) {
 	sim, net := faultNet(2)
 	a, b := net.Node(0), net.Node(1)
 	var got [][]byte
-	ab := a.Connect(b, func(m []byte) { got = append(got, m) })
+	ab := a.Connect(b, func(m []byte) { got = append(got, append([]byte(nil), m...)) })
 
 	net.PartitionOneWay(0, 1)
 	ab.Send([]byte("doomed"))
@@ -69,7 +70,7 @@ func TestNetLossWindow(t *testing.T) {
 	sim, net := faultNet(2)
 	a, b := net.Node(0), net.Node(1)
 	var got [][]byte
-	ab := a.Connect(b, func(m []byte) { got = append(got, m) })
+	ab := a.Connect(b, func(m []byte) { got = append(got, append([]byte(nil), m...)) })
 
 	net.SetLossOneWay(0, 1, 1.0)
 	ab.Send([]byte("lossy"))
@@ -96,8 +97,8 @@ func TestNetLatencySpikeOneWay(t *testing.T) {
 	sim, net := faultNet(2)
 	a, b := net.Node(0), net.Node(1)
 	var got, rev [][]byte
-	ab := a.Connect(b, func(m []byte) { got = append(got, m) })
-	ba := b.Connect(a, func(m []byte) { rev = append(rev, m) })
+	ab := a.Connect(b, func(m []byte) { got = append(got, append([]byte(nil), m...)) })
+	ba := b.Connect(a, func(m []byte) { rev = append(rev, append([]byte(nil), m...)) })
 
 	spike := time.Millisecond
 	net.SetLatencySpikeOneWay(0, 1, spike)

@@ -72,6 +72,40 @@ type Net struct {
 	cut    map[[2]int]bool          // directed partition set, key [from, to]
 	loss   map[[2]int]float64       // directed loss probability windows
 	spike  map[[2]int]time.Duration // directed extra-latency windows
+
+	// bufFree recycles wire-frame message copies; a frame is returned to
+	// the free-list after the receiver's handler returns. Handlers must
+	// therefore copy any bytes they retain past their own return — the same
+	// contract real kernel receive buffers impose.
+	bufFree [][]byte
+}
+
+// getBuf returns a length-n frame buffer from the free-list, allocating one
+// (with power-of-two capacity) when none fits.
+func (n *Net) getBuf(ln int) []byte {
+	for i := len(n.bufFree) - 1; i >= 0 && i >= len(n.bufFree)-8; i-- {
+		if cap(n.bufFree[i]) >= ln {
+			b := n.bufFree[i]
+			last := len(n.bufFree) - 1
+			n.bufFree[i] = n.bufFree[last]
+			n.bufFree[last] = nil
+			n.bufFree = n.bufFree[:last]
+			return b[:ln]
+		}
+	}
+	c := 64
+	for c < ln {
+		c *= 2
+	}
+	return make([]byte, ln, c)
+}
+
+// putBuf returns a frame buffer to the free-list.
+func (n *Net) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	n.bufFree = append(n.bufFree, b[:0])
 }
 
 // New creates an empty network.
@@ -240,6 +274,9 @@ func (nd *Node) Crash() {
 	nd.Proc.Crash()
 	for _, c := range nd.Net.conns {
 		if c.from == nd {
+			for _, buf := range c.parked {
+				nd.Net.putBuf(buf)
+			}
 			c.parked = nil
 		}
 	}
@@ -294,7 +331,7 @@ func (c *Conn) Send(msg []byte) {
 		tr.Add(trace.CtrTCPSendTime, int64(p.SendCost))
 	}
 
-	buf := make([]byte, len(msg))
+	buf := nd.Net.getBuf(len(msg))
 	copy(buf, msg)
 	if nd.Net.CutOneWay(nd.ID, c.to.ID) {
 		c.parked = append(c.parked, buf)
@@ -336,13 +373,15 @@ func (c *Conn) transmit(ready simnet.Time, buf []byte) {
 	}
 
 	to := c.to
-	// Receiver: wakeup + recv processing on the receiving CPU.
+	// Receiver: wakeup + recv processing on the receiving CPU. The frame is
+	// recycled once the handler returns; handlers copy what they keep.
 	to.Proc.RunAt(arrive.Add(p.WakeupLatency), p.RecvCost, func() {
 		if tr := sim.Tracer(); tr != nil {
 			// Run fires at completion time, so the recv span ends now.
 			tr.Span(trace.KTCPRecv, to.ID, int64(sim.Now())-int64(p.RecvCost), int64(p.RecvCost), int64(len(buf)), 0)
 		}
 		c.handler(buf)
+		nd.Net.putBuf(buf)
 	})
 }
 

@@ -21,7 +21,7 @@ func pair(seed int64, jitter bool) (*simnet.Sim, *Node, *Node) {
 func TestDelivery(t *testing.T) {
 	sim, a, b := pair(1, false)
 	var got []byte
-	conn := a.Connect(b, func(m []byte) { got = m })
+	conn := a.Connect(b, func(m []byte) { got = append([]byte(nil), m...) })
 	conn.Send([]byte("hello"))
 	sim.RunFor(time.Millisecond)
 	if string(got) != "hello" {

@@ -241,6 +241,10 @@ func (s *Server) clientRequest(payload []byte) {
 	if s.seenIDs[id] {
 		return // already in flight under some zxid
 	}
+	// Copy before deferring: payload aliases the connection's frame buffer,
+	// which the transport recycles when this handler returns. The log entry
+	// needed its own copy anyway; take it now so the closure owns its bytes.
+	p := append([]byte(nil), payload...)
 	s.node.Proc.Run(s.c.cfg.LeaderOpCost, func() {
 		if s.role != leading || !s.active || s.seenIDs[id] || s.deliveredIDs[id] {
 			return
@@ -249,12 +253,12 @@ func (s *Server) clientRequest(payload []byte) {
 		s.counter++
 		zxid := uint64(s.epoch)<<32 | uint64(s.counter)
 		s.lastZxid = zxid
-		e := entry{zxid: zxid, payload: append([]byte(nil), payload...)}
+		e := entry{zxid: zxid, payload: p}
 		s.log = append(s.log, e)
 		s.acks[zxid] = 0
-		s.broadcast(enc(mPropose, s.epoch, zxid, payload))
+		s.broadcast(enc(mPropose, s.epoch, zxid, p))
 		if tr := s.c.Sim.Tracer(); tr != nil {
-			tr.Instant(trace.KPropose, s.id, int64(s.c.Sim.Now()), trace.ID(payload), int64(zxid))
+			tr.Instant(trace.KPropose, s.id, int64(s.c.Sim.Now()), trace.ID(p), int64(zxid))
 			tr.Add(trace.CtrProposes, 1)
 		}
 		// The leader counts its own ack after its own group commit.
