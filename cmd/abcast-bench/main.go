@@ -93,8 +93,13 @@ func main() {
 			if ws != nil {
 				cfg.Windows = ws
 			}
-			if *traceOut != "" || *fp {
+			if *traceOut != "" {
 				cfg.TraceEvents = trace.DefaultRing
+			} else if *fp {
+				// Fingerprints, counters, and the decomposition cover
+				// the whole stream no matter how deep the ring is; a
+				// small ring keeps emit cache-resident.
+				cfg.TraceEvents = trace.FingerprintRing
 			}
 			title := sub[[2]int{n, sz}]
 			if title == "" {

@@ -72,6 +72,17 @@ type Instance struct {
 	restart   func(i int)
 }
 
+// Close returns the instance's pooled resources (registered RDMA regions)
+// to their process-wide free lists. The instance must not be stepped,
+// polled, or measured afterwards. Harnesses that build one instance per
+// point call this between points; leaving an instance unclosed is safe,
+// it just forgoes the reuse.
+func (inst *Instance) Close() {
+	if inst.Fabric != nil {
+		inst.Fabric.Release()
+	}
+}
+
 // Options tweaks instance construction.
 type Options struct {
 	// Desched injects scheduler noise into every replica (Acuerdo only;
@@ -281,7 +292,7 @@ func RunPoint(kind Kind, cfg Fig8Config, i int) abcast.LoadResult {
 		opt.Tracer = trace.New(cfg.TraceEvents)
 	}
 	inst := NewInstance(kind, cfg.Nodes, cfg.Seed+int64(i), opt)
-	return abcast.RunClosedLoop(inst.Sim, inst.Sys, abcast.LoadConfig{
+	res := abcast.RunClosedLoop(inst.Sim, inst.Sys, abcast.LoadConfig{
 		Window:       cfg.Windows[i],
 		MsgSize:      cfg.MsgSize,
 		Warmup:       cfg.Warmup,
@@ -289,6 +300,8 @@ func RunPoint(kind Kind, cfg Fig8Config, i int) abcast.LoadResult {
 		MinCommitted: cfg.MinCommitted,
 		MaxMeasure:   cfg.MaxMeasure,
 	})
+	inst.Close()
+	return res
 }
 
 // SweepSystem measures one system across the window ladder; each point runs

@@ -150,10 +150,10 @@ type node struct {
 	recv     []uint64        // receipt counters (includes nulls and view msgs)
 	deliv    map[uint64]bool // data message ids delivered here (client dedup)
 	pend     [][]pmsg        // per sender: undelivered messages (absolute idx order)
-	nd       []uint64 // per sender: next index to deliver (1-based)
-	rotPos   int      // rotation position within members
-	sendQ    [][]byte // data payloads awaiting ring capacity
-	mySent   uint64   // == recv[id]
+	nd       []uint64        // per sender: next index to deliver (1-based)
+	rotPos   int             // rotation position within members
+	sendQ    [][]byte        // data payloads awaiting ring capacity
+	mySent   uint64          // == recv[id]
 	hb       uint64
 	lastPush simnet.Time
 	rowCache []row // decoded snapshot reused per poll

@@ -44,8 +44,13 @@ func (h *Histogram) sort() {
 	}
 }
 
-// Percentile returns the p-th percentile (0 < p <= 100) using
-// nearest-rank interpolation.
+// Percentile returns the p-th percentile (0 < p <= 100) by linear
+// interpolation between the two closest order statistics (the same
+// definition as numpy's default): the rank p/100*(N-1) is split into its
+// integer and fractional parts, and the result interpolates between the
+// samples at the bracketing ranks. With a sample at the exact rank —
+// including p=100, which always returns the maximum — no interpolation
+// happens.
 func (h *Histogram) Percentile(p float64) time.Duration {
 	if len(h.samples) == 0 {
 		return 0
@@ -132,8 +137,10 @@ type Bucket struct {
 }
 
 // Snapshot is a machine-readable histogram summary with fixed quantiles
-// and fixed cumulative buckets (the final bucket's bound is the observed
-// maximum, so the counts always reach N).
+// and cumulative buckets: the fixed DefaultBuckets ladder, extended by one
+// final bucket at the observed maximum only when samples fall beyond the
+// ladder. Bucket bounds are strictly increasing and the last count always
+// reaches N.
 type Snapshot struct {
 	N       int
 	Sum     time.Duration
@@ -167,7 +174,14 @@ func (h *Histogram) Export() Snapshot {
 		n := sort.Search(len(h.sorted), func(i int) bool { return h.sorted[i] > le })
 		s.Buckets = append(s.Buckets, Bucket{Le: le, Count: n})
 	}
-	s.Buckets = append(s.Buckets, Bucket{Le: s.Max, Count: s.N})
+	// Close the ladder with an observed-max bucket only when the max
+	// actually exceeds the last fixed bound. Appending it unconditionally
+	// put a bound below earlier ones whenever every sample fit inside the
+	// fixed ladder (the common sub-second case), breaking the cumulative
+	// buckets' monotonicity in Le; the fixed ladder already reaches N then.
+	if s.Max > DefaultBuckets[len(DefaultBuckets)-1] {
+		s.Buckets = append(s.Buckets, Bucket{Le: s.Max, Count: s.N})
+	}
 	return s
 }
 

@@ -202,3 +202,82 @@ func TestHistogramString(t *testing.T) {
 		t.Fatal("empty string")
 	}
 }
+
+// TestHistogramExportSubSecond pins the bucket ladder for the common case:
+// every sample inside the fixed bounds. Export used to append a final
+// {Le: Max, Count: N} bucket unconditionally, which put a bound below the
+// earlier ones (Max was e.g. 40µs after a 1s fixed bound) and broke the
+// cumulative ladder's monotonicity in Le; now the observed-max bucket
+// appears only when samples land beyond the fixed ladder.
+func TestHistogramExportSubSecond(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{
+		700 * time.Nanosecond,
+		3 * time.Microsecond,
+		8 * time.Microsecond,
+		40 * time.Microsecond,
+		900 * time.Microsecond,
+	} {
+		h.Add(d)
+	}
+	s := h.Export()
+	if len(s.Buckets) != len(DefaultBuckets) {
+		t.Fatalf("got %d buckets, want the %d fixed bounds only", len(s.Buckets), len(DefaultBuckets))
+	}
+	for i, b := range s.Buckets {
+		if b.Le != DefaultBuckets[i] {
+			t.Fatalf("bucket %d bound %v, want %v", i, b.Le, DefaultBuckets[i])
+		}
+		if i > 0 && s.Buckets[i-1].Le >= b.Le {
+			t.Fatalf("bucket bounds not strictly increasing: %+v", s.Buckets)
+		}
+		if i > 0 && s.Buckets[i-1].Count > b.Count {
+			t.Fatalf("bucket counts not monotone: %+v", s.Buckets)
+		}
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; last.Count != s.N {
+		t.Fatalf("ladder tops out at %d, want N=%d", last.Count, s.N)
+	}
+	// And the over-ladder case keeps its closing max bucket.
+	h.Add(2 * time.Second)
+	s = h.Export()
+	if len(s.Buckets) != len(DefaultBuckets)+1 {
+		t.Fatalf("got %d buckets, want fixed bounds plus the max bucket", len(s.Buckets))
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; last.Le != 2*time.Second || last.Count != s.N {
+		t.Fatalf("closing bucket %+v, want {2s, %d}", last, s.N)
+	}
+}
+
+// TestHistogramPercentileInterpolation pins the interpolated values the
+// doc promises: rank p/100*(N-1), linear between bracketing order
+// statistics (numpy's default definition).
+func TestHistogramPercentileInterpolation(t *testing.T) {
+	var h Histogram
+	// Samples 10,20,30,40ms: N-1 = 3, so p maps to rank 3p/100.
+	for _, d := range []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond, 40 * time.Millisecond} {
+		h.Add(d)
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{25, 17500 * time.Microsecond},     // rank 0.75: 10ms + 0.75*10ms
+		{50, 25 * time.Millisecond},        // rank 1.5: midpoint of 20ms,30ms
+		{75, 32500 * time.Microsecond},     // rank 2.25: 30ms + 0.25*10ms
+		{90, 37 * time.Millisecond},        // rank 2.7: 30ms + 0.7*10ms
+		{100, 40 * time.Millisecond},       // exact top rank, no interpolation
+		{100.0 / 3, 20 * time.Millisecond}, // rank exactly 1.0
+	}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Fatalf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Single sample: every percentile is that sample.
+	var one Histogram
+	one.Add(7 * time.Millisecond)
+	if one.Percentile(50) != 7*time.Millisecond || one.Percentile(99.9) != 7*time.Millisecond {
+		t.Fatal("single-sample percentiles must return the sample")
+	}
+}

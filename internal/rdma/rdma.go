@@ -23,6 +23,7 @@ package rdma
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"acuerdo/internal/simnet"
@@ -99,6 +100,10 @@ type Fabric struct {
 	// returned once their bytes land in the remote MR (or the write is
 	// dropped against a crashed node).
 	bufFree [][]byte
+
+	// mrs tracks the poolable registered regions handed out by this
+	// fabric's nodes, for Release.
+	mrs [][]byte
 }
 
 // getBuf returns a zeroed-length-n buffer from the fabric's wire-frame
@@ -335,9 +340,66 @@ type MR struct {
 	Buf  []byte
 }
 
-// RegisterMemory registers n bytes of memory for remote access.
+// mrPool recycles the backing arrays of large registered regions across
+// fabric instances. Sweeps build a fresh fabric per load point, and the
+// dominant setup cost is the kernel and GC zeroing tens of megabytes of
+// ring and log regions each time; reusing the arrays keeps that memory
+// warm. Buffers are re-zeroed on acquire, so a pooled region is
+// indistinguishable from a fresh allocation and every downstream result
+// stays byte-identical. The map is keyed by exact size (region sizes come
+// from a handful of fixed configs) and mutex-guarded because parallel
+// sweeps construct fabrics concurrently.
+var (
+	mrPoolMu sync.Mutex
+	mrPool   = map[int][][]byte{}
+)
+
+// mrPoolMin is the smallest region worth pooling; tiny regions (credit
+// words, ack slots) are cheaper to allocate fresh.
+const mrPoolMin = 1 << 16
+
+// RegisterMemory registers size bytes of zeroed memory for remote access.
 func (n *Node) RegisterMemory(size int) *MR {
-	return &MR{Node: n, Buf: make([]byte, size)}
+	mr := &MR{Node: n}
+	if size >= mrPoolMin {
+		mrPoolMu.Lock()
+		if l := mrPool[size]; len(l) > 0 {
+			b := l[len(l)-1]
+			l[len(l)-1] = nil
+			mrPool[size] = l[:len(l)-1]
+			mrPoolMu.Unlock()
+			clear(b)
+			mr.Buf = b
+			n.Fabric.mrs = append(n.Fabric.mrs, b)
+			return mr
+		}
+		mrPoolMu.Unlock()
+		n.Fabric.mrs = append(n.Fabric.mrs, nil) // placeholder, set below
+	}
+	mr.Buf = make([]byte, size)
+	if size >= mrPoolMin {
+		n.Fabric.mrs[len(n.Fabric.mrs)-1] = mr.Buf
+	}
+	return mr
+}
+
+// Release returns every poolable registered region to the process-wide
+// pool. The fabric — and every node, QP, and MR built on it — must not be
+// used afterwards: region contents are reused (and re-zeroed) by whatever
+// instance registers memory next. Harnesses that build one instance per
+// measurement point call this between points.
+func (f *Fabric) Release() {
+	if len(f.mrs) == 0 {
+		return
+	}
+	mrPoolMu.Lock()
+	for _, b := range f.mrs {
+		if b != nil {
+			mrPool[len(b)] = append(mrPool[len(b)], b)
+		}
+	}
+	mrPoolMu.Unlock()
+	f.mrs = nil
 }
 
 // CompletionStatus distinguishes successful completions from flush errors.

@@ -165,27 +165,65 @@ func (p *Proc) RunAt(at Time, cost time.Duration, fn func()) {
 // crashes. Polling is how all RDMA receivers discover incoming writes: the
 // loop body drains whatever has accumulated, which is exactly the paper's
 // receiver-side batching model.
+//
+// Scheduling is batched: the classic shape costs two simulator events per
+// iteration (a wake-up that submits Run, then Run's completion). Poll
+// iterations are strictly sequential and pollers are idle between
+// iterations almost always, so the loop instead posts one event directly
+// at the iteration's completion time D = wake+cost and charges the CPU
+// window [D-cost, D) retroactively when it fires. The optimistic claim is
+// checked at fire time: if any other work started on the CPU after the
+// poll's intended start (busyUntil moved past it), or a deschedule point
+// fell due, the iteration falls back to the classic acquire-based Run —
+// the poller yields to whatever claimed the CPU and re-runs behind it, so
+// the core never double-books. Every path is a pure function of simulated
+// state, so determinism is unaffected; the fast path halves the
+// event-dispatch volume of poll-dominated runs.
 func (p *Proc) PollLoop(interval, cost time.Duration, poll func()) (stop func()) {
 	stopped := false
 	epoch := p.epoch
-	var iter func()
-	iter = func() {
+	var body func()
+	var fire func()
+	// body is the poll iteration itself: trace, drain, rearm.
+	body = func() {
+		if stopped {
+			return
+		}
+		if tr := p.Sim.tracer; tr != nil {
+			tr.Instant(trace.KPoll, p.ID, int64(p.Sim.Now()), 0, 0)
+			tr.Add(trace.CtrPolls, 1)
+			tr.Add(trace.CtrPollTime, int64(cost))
+		}
+		poll()
+		// Optimistic rearm: one event at the next completion time.
+		p.Sim.PostAfter(interval+cost, fire)
+	}
+	// fire runs at the optimistic completion time D and validates the
+	// claimed window [D-cost, D) before accounting it.
+	fire = func() {
 		if stopped || !p.alive || p.epoch != epoch {
 			return
 		}
-		p.Run(cost, func() {
-			if stopped {
-				return
-			}
-			if tr := p.Sim.tracer; tr != nil {
-				tr.Instant(trace.KPoll, p.ID, int64(p.Sim.Now()), 0, 0)
-				tr.Add(trace.CtrPolls, 1)
-				tr.Add(trace.CtrPollTime, int64(cost))
-			}
-			poll()
-			p.Sim.PostAfter(interval, iter)
-		})
+		d := p.Sim.Now()
+		start := d.Add(-cost)
+		if p.busyUntil > start || (p.desched != nil && start >= p.nextDesched) {
+			// The CPU was claimed (or a deschedule fell due) inside the
+			// optimistic window: redo this iteration behind the queue.
+			p.Run(cost, body)
+			return
+		}
+		p.busyUntil = d
+		p.busyTime += cost
+		if tr := p.Sim.tracer; tr != nil {
+			tr.Span(trace.KProcRun, p.ID, int64(start), int64(cost), 0, 0)
+			tr.Add(trace.CtrProcTime, int64(cost))
+		}
+		body()
 	}
-	iter()
+	// First iteration goes through the classic path: the CPU may already
+	// be busy at arm time, and acquire() owns that arithmetic.
+	if p.alive {
+		p.Run(cost, body)
+	}
 	return func() { stopped = true }
 }

@@ -1,10 +1,11 @@
 // Package simnet provides a deterministic discrete-event simulator used as
 // the substrate for the simulated RDMA fabric and TCP transport.
 //
-// A Sim owns a virtual clock and an event heap. All protocol code in this
-// repository is written against the simulated clock, which makes every
-// experiment exactly reproducible from a seed: two runs with the same seed
-// execute the same events in the same order and report identical latencies.
+// A Sim owns a virtual clock and a calendar queue of pending events (see
+// calqueue.go). All protocol code in this repository is written against the
+// simulated clock, which makes every experiment exactly reproducible from a
+// seed: two runs with the same seed execute the same events in the same
+// order and report identical latencies.
 //
 // The package also provides Proc, a simple CPU/process model that accounts
 // for compute costs, models OS descheduling ("long-latency nodes" in the
@@ -12,7 +13,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -35,68 +35,18 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a scheduled callback. Events with equal timestamps fire in
-// scheduling order (seq), which keeps the simulation deterministic.
-//
-// Events are recycled through Sim.free once fired or stopped; gen is bumped
-// on every recycle so a stale Timer handle can detect that "its" event has
-// been reused for a different callback.
-type event struct {
-	at      Time
-	seq     uint64
-	fn      func()
-	stopped bool
-	index   int    // heap index, -1 once popped
-	gen     uint64 // incremented each time the event is recycled
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
 // Sim is a discrete-event simulator with a virtual clock.
 //
 // Sim is not safe for concurrent use: the entire simulation is
 // single-threaded by design, which is what makes it deterministic.
 type Sim struct {
 	now     Time
-	events  eventHeap
+	q       calQueue
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
-	pending int
 	tracer  *trace.Tracer
 	procs   []*Proc
-
-	// free is a free-list of recycled events. The sim loop is
-	// single-goroutine by contract, so a plain slice (no sync.Pool, no
-	// locking) is enough to make steady-state event dispatch allocation-free.
-	free []*event
 
 	// Stats
 	processed uint64
@@ -104,7 +54,9 @@ type Sim struct {
 
 // New creates a simulator whose random number generator is seeded with seed.
 func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+	s := &Sim{rng: rand.New(rand.NewSource(seed))}
+	s.q.init()
+	return s
 }
 
 // Now returns the current simulated time.
@@ -128,61 +80,45 @@ func (s *Sim) Tracer() *trace.Tracer { return s.tracer }
 
 // Timer is a handle to a scheduled event that can be stopped before firing.
 //
-// The handle pins the event's generation at schedule time: once the event
-// fires (or is stopped) the underlying struct is recycled for a later
-// schedule, and any further Stop calls on the stale handle observe the
-// generation mismatch and report false instead of cancelling an unrelated
-// event.
+// The handle pins the event slot's generation at schedule time: once the
+// event fires (or its cancelled slot is swept) the slot is recycled for a
+// later schedule, and any further Stop calls on the stale handle observe
+// the generation mismatch and report false instead of cancelling an
+// unrelated event.
 type Timer struct {
 	s   *Sim
-	ev  *event
-	gen uint64
+	idx int32
+	gen uint32
 }
 
-// Stop cancels the timer. It reports whether the callback was prevented from
-// running (false if it already ran or was already stopped).
+// Stop cancels the timer. It reports whether the callback was prevented
+// from running (false if it already ran or was already stopped).
+//
+// Cancellation is lazy: the slot is marked stopped in place — O(1), no
+// queue surgery — and the calendar queue sweeps it out when dispatch next
+// passes its bucket. The slot is recycled at sweep time, so a Timer whose
+// event already fired always sees a generation mismatch here: events are
+// recycled before their callback runs, which is also why there is no
+// "currently running" state to special-case.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.gen != t.gen || t.ev.stopped {
+	if t == nil || t.s == nil {
 		return false
 	}
-	if t.ev.index < 0 {
-		// Already popped: this is the currently-running event.
-		t.ev.stopped = true
+	sl := &t.s.q.slots[t.idx]
+	if sl.gen != t.gen || sl.stopped {
 		return false
 	}
-	t.ev.stopped = true
-	heap.Remove(&t.s.events, t.ev.index)
-	t.s.pending--
-	t.s.recycle(t.ev)
+	t.s.q.stop(t.idx)
 	return true
 }
 
-// schedule enqueues fn at time at, reusing a recycled event when available.
-func (s *Sim) schedule(at Time, fn func()) *event {
+// schedule enqueues fn at time at, reusing a recycled slot when available.
+func (s *Sim) schedule(at Time, fn func()) int32 {
 	if at < s.now {
 		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", at, s.now))
 	}
 	s.seq++
-	var ev *event
-	if n := len(s.free); n > 0 {
-		ev = s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
-		ev.at, ev.seq, ev.fn, ev.stopped = at, s.seq, fn, false
-	} else {
-		ev = &event{at: at, seq: s.seq, fn: fn}
-	}
-	heap.Push(&s.events, ev)
-	s.pending++
-	return ev
-}
-
-// recycle returns a fired or stopped event to the free-list. Bumping gen
-// invalidates any Timer handle still pointing at it.
-func (s *Sim) recycle(ev *event) {
-	ev.gen++
-	ev.fn = nil
-	s.free = append(s.free, ev)
+	return s.q.alloc(at, s.seq, fn)
 }
 
 // At schedules fn to run at time at and returns a Timer handle that can
@@ -190,8 +126,8 @@ func (s *Sim) recycle(ev *event) {
 // a discrete-event model. Hot paths that never cancel should use Post, which
 // skips the Timer allocation.
 func (s *Sim) At(at Time, fn func()) *Timer {
-	ev := s.schedule(at, fn)
-	return &Timer{s: s, ev: ev, gen: ev.gen}
+	idx := s.schedule(at, fn)
+	return &Timer{s: s, idx: idx, gen: s.q.slots[idx].gen}
 }
 
 // After schedules fn to run d after the current time.
@@ -203,7 +139,7 @@ func (s *Sim) After(d time.Duration, fn func()) *Timer {
 }
 
 // Post schedules fn to run at time at, like At, but returns no handle: the
-// event cannot be cancelled. Combined with the event free-list this makes
+// event cannot be cancelled. Combined with the slot free-list this makes
 // steady-state scheduling allocation-free, which matters because every
 // message send, completion, and poll iteration in the hot loop goes through
 // here.
@@ -219,43 +155,49 @@ func (s *Sim) PostAfter(d time.Duration, fn func()) {
 	s.Post(s.now.Add(d), fn)
 }
 
+// fire advances the clock to slot idx's timestamp and runs its callback.
+// The slot is recycled before fn runs: fn may schedule new events, and
+// letting them reuse the slot keeps the free-list small. The generation
+// bump means a Timer for this event now reports false from Stop, matching
+// the "already ran" semantics.
+func (s *Sim) fire(idx int32) {
+	sl := &s.q.slots[idx]
+	s.now = sl.at
+	s.processed++
+	if s.tracer != nil {
+		s.tracer.SimEvent(int64(sl.at), int64(sl.seq))
+	}
+	fn := sl.fn
+	s.q.recycle(idx)
+	fn()
+}
+
 // Step executes the next pending event and reports whether one existed.
 func (s *Sim) Step() bool {
-	for s.events.Len() > 0 {
-		ev := heap.Pop(&s.events).(*event)
-		s.pending--
-		if ev.stopped {
-			s.recycle(ev)
-			continue
-		}
-		s.now = ev.at
-		s.processed++
-		if s.tracer != nil {
-			s.tracer.Instant(trace.KSimEvent, -1, int64(ev.at), int64(ev.seq), 0)
-			s.tracer.Add(trace.CtrSimEvents, 1)
-		}
-		fn := ev.fn
-		// Recycle before running fn: fn may schedule new events, and letting
-		// them reuse this slot keeps the free-list small. The gen bump means
-		// a Timer for this event now reports false from Stop, matching the
-		// old "already ran" semantics.
-		s.recycle(ev)
-		fn()
-		return true
+	idx, ok := s.q.popDue(maxTime)
+	if !ok {
+		return false
 	}
-	return false
+	s.fire(idx)
+	return true
 }
 
 // RunUntil executes all events scheduled at or before t, then advances the
 // clock to t.
+//
+// The horizon contract: no event with at > t runs, and the clock never
+// exceeds t, regardless of cancelled timers parked ahead of live events.
+// The contract is structural — popDue only surfaces live events that are
+// due — where the old event heap re-checked only the queue head, which
+// under lazy cancellation can be a stopped slot hiding a live event beyond
+// the horizon (the RunUntil event-horizon bug).
 func (s *Sim) RunUntil(t Time) {
-	for s.events.Len() > 0 {
-		if s.events[0].at > t {
+	for {
+		idx, ok := s.q.popDue(t)
+		if !ok {
 			break
 		}
-		if !s.Step() {
-			break
-		}
+		s.fire(idx)
 		if s.stopped {
 			s.stopped = false
 			return
@@ -270,7 +212,7 @@ func (s *Sim) RunUntil(t Time) {
 func (s *Sim) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
 
 // Run executes events until none remain or Stop is called. Protocols with
-// periodic timers never drain the heap; prefer RunUntil/RunFor for those.
+// periodic timers never drain the queue; prefer RunUntil/RunFor for those.
 func (s *Sim) Run() {
 	for s.Step() {
 		if s.stopped {
@@ -292,4 +234,4 @@ func (s *Sim) Procs() []*Proc { return s.procs }
 // Pending reports the number of scheduled (unfired, unstopped) events.
 // The count is maintained incrementally at schedule/stop/fire time, so
 // calling it in a hot assertion loop is O(1).
-func (s *Sim) Pending() int { return s.pending }
+func (s *Sim) Pending() int { return s.q.size }
