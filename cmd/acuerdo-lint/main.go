@@ -1,22 +1,28 @@
-// Command acuerdo-lint is the multichecker driver for the determinism lint
-// suite in internal/lint. It type-checks the requested packages and runs the
-// nowallclock, maporder, and simproc analyzers over every simulation-driven
-// package — plus exportdoc over the harness API packages — exiting nonzero
-// if any rule fires. Scope is per analyzer (see lint.Analyzer.InScope):
-// internal/sweep, which deliberately uses real goroutines and wall-clock,
-// is exempt from the determinism passes but not from exportdoc.
+// Command acuerdo-lint is the multichecker driver for the determinism and
+// RDMA-contract lint suite in internal/lint. It type-checks the requested
+// packages and runs every analyzer over the packages it applies to (scope is
+// per analyzer — see lint.Analyzer.InScope: internal/sweep is exempt from the
+// determinism passes, internal/rdma from the contract passes, and exportdoc
+// covers only the harness API packages).
 //
 // Usage:
 //
-//	go run ./cmd/acuerdo-lint [-analyzers=nowallclock,maporder,simproc,exportdoc] [packages]
+//	go run ./cmd/acuerdo-lint [-analyzers=cqorder,mrlifetime,...] [-json] [packages]
 //
 // With no package arguments it checks ./.... Findings print as
-// file:line:col: message (analyzer). A finding can be locally waived with a
-// "//lint:ignore <analyzer> <reason>" comment on, or directly above, the
-// offending line — reviewers then see the reason in the diff.
+// file:line:col: message (analyzer); with -json the full result (diagnostics
+// plus type errors) is emitted as one JSON object on stdout, the format CI
+// archives as an artifact. A finding can be locally waived with a
+// "//lint:ignore <analyzer> <justification>" comment on, or directly above,
+// the offending line — the justification is mandatory, and a directive
+// missing it (or naming an unknown analyzer) is itself a diagnostic.
+//
+// Exit codes: 0 when clean, 1 when any diagnostic fired, 2 on load, type, or
+// internal errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,8 +32,13 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	names := flag.String("analyzers", "", "comma-separated analyzer subset to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit diagnostics as JSON on stdout")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: acuerdo-lint [flags] [packages]\n\n")
 		flag.PrintDefaults()
@@ -39,7 +50,7 @@ func main() {
 		for _, az := range analyzers {
 			fmt.Printf("%-12s %s\n", az.Name, az.Doc)
 		}
-		return
+		return 0
 	}
 	if *names != "" {
 		byName := map[string]*lint.Analyzer{}
@@ -51,7 +62,7 @@ func main() {
 			az, ok := byName[strings.TrimSpace(n)]
 			if !ok {
 				fmt.Fprintf(os.Stderr, "acuerdo-lint: unknown analyzer %q\n", n)
-				os.Exit(2)
+				return 2
 			}
 			analyzers = append(analyzers, az)
 		}
@@ -64,48 +75,35 @@ func main() {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "acuerdo-lint:", err)
-		os.Exit(2)
+		return 2
 	}
-	loader := lint.NewLoader(cwd)
-	pkgs, err := loader.Load(patterns...)
+	res, err := lint.CheckDir(cwd, patterns, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "acuerdo-lint:", err)
-		os.Exit(2)
-	}
-	if len(pkgs) == 0 {
-		fmt.Fprintf(os.Stderr, "acuerdo-lint: no packages match %s\n", strings.Join(patterns, " "))
-		os.Exit(2)
+		return 2
 	}
 
-	exit := 0
-	for _, pkg := range pkgs {
-		// Scope is per analyzer: exportdoc covers only the harness API
-		// packages, nowallclock/simproc exempt internal/sweep, the rest use
-		// the suite default.
-		var active []*lint.Analyzer
-		for _, az := range analyzers {
-			if az.AppliesTo(pkg.PkgPath) {
-				active = append(active, az)
-			}
-		}
-		if len(active) == 0 {
-			continue
-		}
-		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "acuerdo-lint: %s: %v\n", pkg.PkgPath, terr)
-			exit = 2
-		}
-		diags, err := lint.RunAnalyzers(pkg, active)
-		if err != nil {
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
 			fmt.Fprintln(os.Stderr, "acuerdo-lint:", err)
-			os.Exit(2)
+			return 2
 		}
-		for _, d := range diags {
-			fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
-			if exit == 0 {
-				exit = 1
-			}
+	} else {
+		for _, terr := range res.TypeErrors {
+			fmt.Fprintln(os.Stderr, "acuerdo-lint:", terr)
+		}
+		for _, d := range res.Diagnostics {
+			fmt.Println(d)
 		}
 	}
-	os.Exit(exit)
+
+	switch {
+	case len(res.TypeErrors) > 0:
+		return 2
+	case len(res.Diagnostics) > 0:
+		return 1
+	}
+	return 0
 }

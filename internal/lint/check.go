@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FileDiagnostic is a Diagnostic resolved to a concrete file position, the
+// shape shared by the command-line driver's text and JSON outputs and by the
+// corpus regression test. Field names are part of the CI artifact format.
+type FileDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Package  string `json:"package"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String formats the diagnostic the way the driver prints it.
+func (d FileDiagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Column, d.Message, d.Analyzer)
+}
+
+// CheckResult is the outcome of one CheckDir run.
+type CheckResult struct {
+	// Diagnostics are the surviving findings across every loaded package,
+	// in file/position order.
+	Diagnostics []FileDiagnostic `json:"diagnostics"`
+	// TypeErrors are non-fatal type-check failures in the loaded packages
+	// themselves (dependency type errors are not collected). A run with type
+	// errors cannot be trusted to be complete.
+	TypeErrors []string `json:"type_errors,omitempty"`
+}
+
+// CheckDir loads the packages matching patterns from dir, runs each analyzer
+// over the packages it applies to (per Analyzer.AppliesTo), and returns the
+// resolved diagnostics. It is the single checking path shared by
+// cmd/acuerdo-lint and the whole-repo corpus test, so the two gates cannot
+// drift apart. The returned error covers load or analyzer failures only;
+// findings and type errors land in the result.
+func CheckDir(dir string, patterns []string, analyzers []*Analyzer) (*CheckResult, error) {
+	loader := NewLoader(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	// Diagnostics starts non-nil so a clean run serializes as [] rather than
+	// null — JSON consumers in CI iterate it unconditionally.
+	res := &CheckResult{Diagnostics: []FileDiagnostic{}}
+	for _, pkg := range pkgs {
+		var active []*Analyzer
+		for _, az := range analyzers {
+			if az.AppliesTo(pkg.PkgPath) {
+				active = append(active, az)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		for _, terr := range pkg.TypeErrors {
+			res.TypeErrors = append(res.TypeErrors, fmt.Sprintf("%s: %v", pkg.PkgPath, terr))
+		}
+		diags, err := RunAnalyzers(pkg, active)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			res.Diagnostics = append(res.Diagnostics, FileDiagnostic{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Package:  pkg.PkgPath,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res, nil
+}

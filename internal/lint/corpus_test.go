@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"acuerdo/internal/lint"
+)
+
+// TestCorpusClean runs every analyzer in the suite over the entire module and
+// asserts zero diagnostics: the repo is its own lint corpus, so a new
+// violation (or a directive that loses its justification) fails go test
+// ./... directly instead of surfacing only in the CI lint lane. Scope follows
+// the driver exactly — both sit on lint.CheckDir — so this test and
+// `go run ./cmd/acuerdo-lint ./...` cannot disagree.
+func TestCorpusClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is too slow for -short")
+	}
+	res, err := lint.CheckDir("../..", []string{"./..."}, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range res.TypeErrors {
+		t.Errorf("type error: %s", terr)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

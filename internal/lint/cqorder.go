@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CQOrder enforces the RDMA completion-ordering contract: a memory region
+// targeted by a posted work request may not be touched again until a
+// completion for that request has been observed by polling the completion
+// queue. Reading the buffer earlier is the "completion fallacy" — posting a
+// verb returns before the NIC has moved any bytes, so the buffer's contents
+// are undefined until the CQE arrives (and writing it races the DMA engine).
+//
+// The analyzer is function-local and dataflow-driven: QP.Write/WriteSignaled/
+// Read calls mark the target MR's abstract region dirty, CQ.Poll calls clear
+// the regions whose queue pair is bound (by a Connect seen in the same
+// function) to that queue — or every region when the binding is unknown — and
+// any access to a dirty region's .Buf on any path in between is reported.
+// Cross-function posting/polling (the protocols' poll-loop idiom, where one
+// function posts and a different poll body consumes) is invisible to the
+// function-local analysis; DESIGN.md §6.6 lists the unsound cases.
+var CQOrder = &Analyzer{
+	Name: "cqorder",
+	Doc: "forbid touching an MR buffer targeted by a posted work request " +
+		"before a CQ.Poll observes its completion (function-local)",
+	// internal/rdma implements the verbs themselves and moves bytes under its
+	// own simulation-internal rules, so the consumer-side contract does not
+	// apply to it.
+	InScope: func(pkgPath string) bool {
+		return InScope(pkgPath) && pkgPath != rdmaPkg
+	},
+	Run: runCQOrder,
+}
+
+// cqDirty marks an abstract MR region with an unobserved posted work request.
+const cqDirty uint32 = 1
+
+// postingCalls are the QP methods that post a work request against their
+// first argument's memory region.
+var postingCalls = map[string]bool{
+	rdmaPkg + ".QP.Write":         true,
+	rdmaPkg + ".QP.WriteSignaled": true,
+	rdmaPkg + ".QP.Read":          true,
+}
+
+func runCQOrder(pass *Pass) error {
+	info := pass.TypesInfo
+	forEachFunc(pass.Files, func(name string, body *ast.BlockStmt) {
+		env := buildPathEnv(info, body)
+
+		// Prepass: QP→CQ bindings from Connect calls, the CQ set each MR is
+		// posted on, and per-call-site classification.
+		binds := map[string]string{}             // qp path -> cq path ("" unknown)
+		postSite := map[*ast.CallExpr]string{}   // posting call -> MR path
+		pollSite := map[*ast.CallExpr]string{}   // poll call -> CQ path
+		postedOn := map[string]map[string]bool{} // MR path -> CQ paths
+		walkSkippingFuncLits(body, func(n ast.Node) {
+			st, ok := n.(*ast.AssignStmt)
+			if !ok || len(st.Lhs) != len(st.Rhs) {
+				return
+			}
+			for i := range st.Lhs {
+				call, ok := ast.Unparen(st.Rhs[i]).(*ast.CallExpr)
+				if !ok || calleeKey(info, call) != rdmaPkg+".Node.Connect" {
+					continue
+				}
+				qp := env.canon(pathOf(info, st.Lhs[i]))
+				if qp == "" || len(call.Args) < 2 {
+					continue
+				}
+				if cq := env.canon(pathOf(info, call.Args[1])); cq != "" {
+					binds[qp] = cq
+				}
+			}
+		})
+		walkSkippingFuncLits(body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			switch key := calleeKey(info, call); {
+			case postingCalls[key]:
+				if len(call.Args) == 0 {
+					return
+				}
+				mr := env.canon(pathOf(info, call.Args[0]))
+				if mr == "" {
+					return
+				}
+				postSite[call] = mr
+				cq := binds[env.canon(pathOf(info, recvExpr(call)))]
+				set := postedOn[mr]
+				if set == nil {
+					set = map[string]bool{}
+					postedOn[mr] = set
+				}
+				set[cq] = true // cq may be "": unknown queue
+			case key == rdmaPkg+".CQ.Poll":
+				pollSite[call] = env.canon(pathOf(info, recvExpr(call)))
+			}
+		})
+		if len(postSite) == 0 {
+			return // nothing posted in this function: nothing to order
+		}
+
+		transfer := func(n ast.Node, f facts) {
+			switch st := n.(type) {
+			case *ast.CallExpr:
+				if mr, ok := postSite[st]; ok {
+					f[mr] |= cqDirty
+				}
+				if cq, ok := pollSite[st]; ok {
+					for mr, set := range postedOn {
+						// A poll observes the completion unless both sides'
+						// queues are known and provably different.
+						if cq != "" && !set[""] && !set[cq] {
+							continue
+						}
+						delete(f, mr)
+					}
+				}
+			case *ast.AssignStmt:
+				killDefines(env, f, st)
+			}
+		}
+		report := func(n ast.Node, f facts) {
+			expr := accessExpr(info, n)
+			if expr == nil {
+				return
+			}
+			p := env.canon(pathOf(info, expr))
+			if !strings.HasSuffix(p, ".Buf") {
+				return
+			}
+			mr := strings.TrimSuffix(p, ".Buf")
+			if f[mr]&cqDirty == 0 {
+				return
+			}
+			pass.Reportf(expr.Pos(), "MR buffer %s is accessed while a posted work request on it has no observed completion; poll the CQ first (completion fallacy)",
+				types.ExprString(expr))
+		}
+		runFlow(body, flowHooks{transfer: transfer, report: report})
+	})
+	return nil
+}
+
+// accessExpr returns n as a reportable value access — a selector chain or a
+// plain identifier *use* (an aliased buffer read like `b := mr.Buf; b[0]`
+// surfaces as an Ident whose canonical path ends in .Buf). Defining
+// occurrences return nil: the definition's right-hand side carries the read.
+func accessExpr(info *types.Info, n ast.Node) ast.Expr {
+	switch e := n.(type) {
+	case *ast.SelectorExpr:
+		return e
+	case *ast.Ident:
+		if info.Defs[e] != nil {
+			return nil
+		}
+		return e
+	}
+	return nil
+}
+
+// killDefines applies the strong update of an assignment: facts on redefined
+// left-hand sides are cleared, unless the assignment records an alias (then
+// the canonical region's state must survive).
+func killDefines(env *pathEnv, f facts, st *ast.AssignStmt) {
+	if len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i := range st.Lhs {
+		lp := pathOf(env.info, st.Lhs[i])
+		if lp == "" {
+			continue
+		}
+		// An alias assignment (rhs has a path of its own) keeps the canonical
+		// region's state; a fresh value — including the self-assignment the
+		// CFG synthesizes at range heads — is a strong update.
+		if rp := pathOf(env.info, st.Rhs[i]); rp != "" && rp != lp {
+			continue
+		}
+		f.killPrefix(env.canon(lp))
+	}
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"acuerdo/internal/lint"
+	"acuerdo/internal/lint/linttest"
+)
+
+func TestCQOrder(t *testing.T) {
+	linttest.Run(t, linttest.Testdata(t, "."), lint.CQOrder, "cqorder")
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HostBlock extends simproc from "no goroutines, no timers" to "no host
+// blocking at all": simulation-driven packages must not declare or operate on
+// host channels and must not reach for sync / sync/atomic primitives. The
+// simulation is single-threaded; a channel or mutex there is at best inert
+// and at worst a real blocking point that deadlocks the event loop or lets
+// host scheduling order leak into results. simproc keeps the goroutine and
+// wall-clock-timer rules; hostblock owns everything channel- and sync-shaped:
+// select statements, sends, receives, close, range-over-channel, chan-typed
+// declarations (variables, fields, parameters), and any reference to a
+// package-level name of sync or sync/atomic.
+//
+// One finding per root cause: a sync.Mutex is reported where the type is
+// named in a declaration, not again at every Lock/Unlock (method calls on an
+// already-flagged value are the same mistake).
+var HostBlock = &Analyzer{
+	Name: "hostblock",
+	Doc: "forbid host channels and sync/atomic primitives in " +
+		"simulation-driven packages; block and synchronize through simnet",
+	// internal/sweep is the sanctioned host-concurrency layer (same exemption
+	// as simproc and nowallclock).
+	InScope: func(pkgPath string) bool {
+		return InScope(pkgPath) && pkgPath != "acuerdo/internal/sweep"
+	},
+	Run: runHostBlock,
+}
+
+func runHostBlock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.SelectStmt:
+				pass.Reportf(st.Pos(), "select blocks on host channels; wait on simulated events via simnet instead")
+			case *ast.SendStmt:
+				pass.Reportf(st.Pos(), "channel send blocks on the host scheduler; deliver through simnet instead")
+			case *ast.UnaryExpr:
+				if st.Op == token.ARROW && isChanExpr(pass, st.X) {
+					pass.Reportf(st.Pos(), "channel receive blocks on the host scheduler; wait on simulated events via simnet instead")
+				}
+			case *ast.RangeStmt:
+				if isChanExpr(pass, st.X) {
+					pass.Reportf(st.Pos(), "range over a channel blocks on the host scheduler; drain simulated events via simnet instead")
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok {
+					if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" &&
+						len(st.Args) == 1 && isChanExpr(pass, st.Args[0]) {
+						pass.Reportf(st.Pos(), "close of a host channel; simulation lifecycle belongs to simnet")
+					}
+				}
+			case *ast.Ident:
+				// Declarations of chan-typed values (vars, fields, params).
+				if v, ok := pass.TypesInfo.Defs[st].(*types.Var); ok && containsChan(v.Type()) {
+					pass.Reportf(st.Pos(), "%s declares a host channel; model message passing through simnet instead", st.Name)
+				}
+				// References to package-level sync / sync/atomic names. Method
+				// calls (mu.Lock) resolve to a *types.Func with a receiver and
+				// are deliberately excluded: the declaration carrying the type
+				// is the single reported root cause.
+				if obj := pass.TypesInfo.Uses[st]; obj != nil && isSyncPkgObject(obj) {
+					pass.Reportf(st.Pos(), "%s.%s is a host synchronization primitive; the simulation is single-threaded — synchronize through simnet",
+						obj.Pkg().Name(), obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isChanExpr reports whether expr's type (behind named types) is a channel.
+func isChanExpr(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// containsChan reports whether t is a channel, possibly behind pointers,
+// slices, arrays, or a named type.
+func containsChan(t types.Type) bool {
+	for hop := 0; t != nil && hop < 8; hop++ {
+		switch u := t.Underlying().(type) {
+		case *types.Chan:
+			return true
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// isSyncPkgObject reports whether obj is a package-level type or function of
+// sync or sync/atomic (methods on their types are excluded — see the
+// one-finding-per-root-cause note on the analyzer).
+func isSyncPkgObject(obj types.Object) bool {
+	pkg := obj.Pkg()
+	if pkg == nil || (pkg.Path() != "sync" && pkg.Path() != "sync/atomic") {
+		return false
+	}
+	switch o := obj.(type) {
+	case *types.TypeName:
+		return true
+	case *types.Func:
+		sig, ok := o.Type().(*types.Signature)
+		return ok && sig.Recv() == nil
+	}
+	return false
+}

@@ -1,8 +1,10 @@
-// Package lint implements the determinism lint suite that guards the
-// simulation's core invariant: two runs with the same seed execute the same
-// events and report identical latencies (see internal/simnet). Three
-// analyzers enforce the discipline statically, and a fourth guards the
-// documentation of the harness API:
+// Package lint implements the determinism and RDMA-contract lint suite that
+// guards the simulation's core invariants: two runs with the same seed
+// execute the same events and report identical latencies (see
+// internal/simnet), and protocol code honors the post/poll/release contract
+// of internal/rdma. Syntactic analyzers enforce the determinism discipline,
+// dataflow analyzers (see dataflow.go and DESIGN.md §6.6) check the ordering
+// properties, and one pass guards the documentation of the harness API:
 //
 //   - nowallclock: protocol and fabric code must use the simnet clock and the
 //     Sim's seeded RNG, never the wall clock (time.Now, time.Sleep, ...) or
@@ -14,13 +16,27 @@
 //   - simproc: concurrency in simulation-driven packages must go through
 //     simnet.Proc; raw goroutines and real-time timer channels race against
 //     the virtual clock.
+//   - hostblock: simulation-driven packages must not declare or operate on
+//     host channels, nor reach for sync / sync/atomic primitives.
+//   - cqorder (dataflow): an MR targeted by a posted work request may not be
+//     touched until a CQ.Poll observes the completion.
+//   - mrlifetime (dataflow): no use of fabric-owned memory after
+//     Fabric.Release returns it to the process-wide MR pool.
 //   - exportdoc: exported identifiers in the harness API packages (sweep,
 //     bench, chaos, trace) must carry doc comments.
 //
 // internal/sweep is the deliberate exception to the determinism rules: it
 // runs independent simulations on real goroutines and measures host
-// wall-clock, so nowallclock and simproc exempt it (per-analyzer InScope)
-// while exportdoc covers it.
+// wall-clock, so nowallclock, simproc, and hostblock exempt it (per-analyzer
+// InScope) while exportdoc covers it. internal/rdma implements the verbs
+// themselves, so cqorder and mrlifetime exempt it.
+//
+// Suppression: a finding is waived by "//lint:ignore <analyzer>
+// <justification>" on, or directly above, the offending line. The
+// justification is mandatory — a directive missing it, or naming an unknown
+// analyzer, is itself a diagnostic (analyzer name "directive") and
+// suppresses nothing. The whole repository is held to zero diagnostics by
+// TestCorpusClean in corpus_test.go.
 //
 // The API mirrors golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic)
 // so the passes could be lifted onto the real driver if the dependency ever
@@ -90,7 +106,21 @@ type Diagnostic struct {
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoWallClock, MapOrder, SimProc, ExportDoc}
+	return []*Analyzer{NoWallClock, MapOrder, SimProc, ExportDoc, CQOrder, MRLifetime, HostBlock}
+}
+
+// directiveAnalyzer is the pseudo-analyzer name attached to diagnostics about
+// malformed //lint:ignore directives themselves.
+const directiveAnalyzer = "directive"
+
+// knownAnalyzerNames returns the set of names a //lint:ignore directive may
+// target: every suite analyzer, the "*" wildcard, and "directive" itself.
+func knownAnalyzerNames() map[string]bool {
+	names := map[string]bool{"*": true, directiveAnalyzer: true}
+	for _, az := range All() {
+		names[az.Name] = true
+	}
+	return names
 }
 
 // InScope reports whether the determinism analyzers apply to the package with
@@ -144,8 +174,13 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// suppress drops diagnostics overridden by //lint:ignore comments.
+// suppress drops diagnostics overridden by well-formed //lint:ignore
+// comments and reports malformed directives as diagnostics of their own: an
+// unjustified suppression is a finding, not a free pass, so a directive that
+// omits the analyzer name, names an unknown analyzer, or carries no
+// justification suppresses nothing and is flagged where it stands.
 func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	known := knownAnalyzerNames()
 	// ignores maps file -> line -> analyzer names ignored on that line.
 	ignores := map[string]map[int][]string{}
 	for _, f := range pkg.Syntax {
@@ -157,7 +192,27 @@ func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
 					continue
 				}
 				fields := strings.Fields(text)
-				if len(fields) < 2 {
+				switch {
+				case len(fields) < 2:
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer> <justification>",
+						Analyzer: directiveAnalyzer,
+					})
+					continue
+				case !known[fields[1]]:
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  fmt.Sprintf("lint:ignore names unknown analyzer %q", fields[1]),
+						Analyzer: directiveAnalyzer,
+					})
+					continue
+				case len(fields) < 3:
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  fmt.Sprintf("lint:ignore %s has no justification; say why the exemption is sound", fields[1]),
+						Analyzer: directiveAnalyzer,
+					})
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -73,12 +74,99 @@ func TestLoadModulePackage(t *testing.T) {
 	}
 }
 
-// TestAnalyzerMetadata keeps the suite's registry stable: four analyzers,
+// TestDirectiveValidation pins the lint:ignore contract: a directive with no
+// analyzer name, an unknown name, or no justification is itself a diagnostic
+// and suppresses nothing, while a well-formed directive still waives its
+// finding. The directive fixture has four Sleep calls; only the last is
+// covered by a valid directive.
+func TestDirectiveValidation(t *testing.T) {
+	td := linttest.Testdata(t, ".")
+	loader := lint.NewLoader(td)
+	pkg, err := loader.LoadDir("directive", filepath.Join(td, "src", "directive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{lint.NoWallClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		analyzer string
+		contains string
+	}{
+		{"directive", "malformed lint:ignore directive"},
+		{"nowallclock", "time.Sleep"},
+		{"directive", "no justification"},
+		{"nowallclock", "time.Sleep"},
+		{"directive", `unknown analyzer "nosuchpass"`},
+		{"nowallclock", "time.Sleep"},
+	}
+	if len(diags) != len(want) {
+		for _, d := range diags {
+			t.Logf("got: %s: %s (%s)", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(want))
+	}
+	for i, w := range want {
+		if diags[i].Analyzer != w.analyzer || !strings.Contains(diags[i].Message, w.contains) {
+			t.Errorf("diagnostic %d = %q (%s), want %s message containing %q",
+				i, diags[i].Message, diags[i].Analyzer, w.analyzer, w.contains)
+		}
+	}
+}
+
+// TestAnalyzerScopes pins the per-analyzer scope rules so a regression in an
+// InScope override (the sweep exemption from PR 5, the rdma exemption for the
+// contract analyzers) is caught by go test, not by a surprise CI diagnostic.
+func TestAnalyzerScopes(t *testing.T) {
+	byName := map[string]*lint.Analyzer{}
+	for _, az := range lint.All() {
+		byName[az.Name] = az
+	}
+	cases := []struct {
+		analyzer string
+		pkgPath  string
+		want     bool
+	}{
+		// Suite default: internal packages minus the lint tooling.
+		{"maporder", "acuerdo/internal/zab", true},
+		{"maporder", "acuerdo/internal/lint", false},
+		{"maporder", "acuerdo/cmd/acuerdo-sim", false},
+		// sweep is the sanctioned host-concurrency/wall-clock layer.
+		{"nowallclock", "acuerdo/internal/sweep", false},
+		{"simproc", "acuerdo/internal/sweep", false},
+		{"hostblock", "acuerdo/internal/sweep", false},
+		{"nowallclock", "acuerdo/internal/apus", true},
+		{"simproc", "acuerdo/internal/apus", true},
+		{"hostblock", "acuerdo/internal/rdma", true},
+		{"hostblock", "acuerdo/internal/apus", true},
+		// The contract analyzers exempt the rdma implementation itself.
+		{"cqorder", "acuerdo/internal/rdma", false},
+		{"mrlifetime", "acuerdo/internal/rdma", false},
+		{"cqorder", "acuerdo/internal/apus", true},
+		{"mrlifetime", "acuerdo/internal/bench", true},
+		// exportdoc covers only the harness API packages.
+		{"exportdoc", "acuerdo/internal/sweep", true},
+		{"exportdoc", "acuerdo/internal/bench", true},
+		{"exportdoc", "acuerdo/internal/zab", false},
+	}
+	for _, c := range cases {
+		az := byName[c.analyzer]
+		if az == nil {
+			t.Fatalf("no analyzer named %q", c.analyzer)
+		}
+		if got := az.AppliesTo(c.pkgPath); got != c.want {
+			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.analyzer, c.pkgPath, got, c.want)
+		}
+	}
+}
+
+// TestAnalyzerMetadata keeps the suite's registry stable: seven analyzers,
 // documented, uniquely named.
 func TestAnalyzerMetadata(t *testing.T) {
 	all := lint.All()
-	if len(all) != 4 {
-		t.Fatalf("All() returned %d analyzers, want 4", len(all))
+	if len(all) != 7 {
+		t.Fatalf("All() returned %d analyzers, want 7", len(all))
 	}
 	seen := map[string]bool{}
 	for _, az := range all {

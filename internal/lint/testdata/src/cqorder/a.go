@@ -1,0 +1,75 @@
+// Package cqorder exercises the completion-ordering analyzer: an MR targeted
+// by a posted work request may not be touched until a CQ.Poll observes the
+// completion.
+package cqorder
+
+import "acuerdo/internal/rdma"
+
+// readBeforePoll is the bare completion fallacy: post, then read the target
+// buffer with no poll anywhere.
+func readBeforePoll(qp *rdma.QP, mr *rdma.MR) byte {
+	qp.Write(mr, 0, []byte{1})
+	return mr.Buf[0] // want `MR buffer mr.Buf is accessed while a posted work request`
+}
+
+// readAfterPoll is the sanctioned idiom: spin on the CQ until the completion
+// arrives, then read.
+func readAfterPoll(qp *rdma.QP, cq *rdma.CQ, mr *rdma.MR) byte {
+	qp.WriteSignaled(mr, 0, []byte{1})
+	for len(cq.Poll()) == 0 {
+	}
+	return mr.Buf[0]
+}
+
+// readOnUnpolledPath polls on one branch only; the read after the join is
+// reachable via the unpolled path.
+func readOnUnpolledPath(qp *rdma.QP, cq *rdma.CQ, mr *rdma.MR, fast bool) byte {
+	qp.Write(mr, 0, []byte{1})
+	if !fast {
+		for len(cq.Poll()) == 0 {
+		}
+	}
+	return mr.Buf[0] // want `MR buffer mr.Buf is accessed while a posted work request`
+}
+
+// aliasRead reads through an alias of the dirty buffer.
+func aliasRead(qp *rdma.QP, mr *rdma.MR) byte {
+	buf := mr.Buf
+	qp.Write(mr, 0, nil)
+	return buf[0] // want `MR buffer buf is accessed while a posted work request`
+}
+
+// readIntoDirty covers RDMA reads too: the remote region is in flight until
+// the read completion is polled.
+func readIntoDirty(qp *rdma.QP, mr *rdma.MR) {
+	qp.Read(mr, 0, 8)
+	copy(mr.Buf, []byte{1}) // want `MR buffer mr.Buf is accessed while a posted work request`
+}
+
+// distinctQueues pins the QP-to-CQ binding precision: polling cqA clears only
+// the regions posted on qpA, because both bindings are visible in-function.
+func distinctQueues(n1, n2 *rdma.Node, mrA, mrB *rdma.MR) {
+	cqA := rdma.NewCQ()
+	cqB := rdma.NewCQ()
+	qpA := n1.Connect(n2, cqA)
+	qpB := n1.Connect(n2, cqB)
+	qpA.Write(mrA, 0, nil)
+	qpB.Write(mrB, 0, nil)
+	for len(cqA.Poll()) == 0 {
+	}
+	_ = mrA.Buf[0]
+	_ = mrB.Buf[0] // want `MR buffer mrB.Buf is accessed while a posted work request`
+}
+
+// distinctRegions is the protocol layers' actual shape: the posted region and
+// the locally-read region are different MRs, so no ordering applies.
+func distinctRegions(qp *rdma.QP, ackMR, logMR *rdma.MR) byte {
+	qp.Write(ackMR, 0, []byte{1})
+	return logMR.Buf[0]
+}
+
+// dataArgIsNotARead pins that passing the buffer into the posting call itself
+// is not flagged: the read happens before the request is posted.
+func dataArgIsNotARead(qp *rdma.QP, mr *rdma.MR) {
+	qp.Write(mr, 0, mr.Buf[:1])
+}

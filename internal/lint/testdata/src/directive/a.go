@@ -1,0 +1,19 @@
+// Package directive exercises lint:ignore validation: a directive must name
+// a known analyzer and carry a justification, or it is itself a finding and
+// suppresses nothing. (Expectations live in TestDirectiveValidation, not in
+// want comments — a directive diagnostic lands on the directive's own line,
+// which a line comment already occupies.)
+package directive
+
+import "time"
+
+func bad() {
+	//lint:ignore
+	time.Sleep(time.Millisecond)
+	//lint:ignore nowallclock
+	time.Sleep(time.Millisecond)
+	//lint:ignore nosuchpass this analyzer does not exist
+	time.Sleep(time.Millisecond)
+	//lint:ignore nowallclock fixture exercising a valid suppression
+	time.Sleep(time.Millisecond)
+}

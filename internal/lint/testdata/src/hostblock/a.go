@@ -1,0 +1,50 @@
+// Package hostblock exercises the host-blocking analyzer: simulation-driven
+// code must not declare or operate on host channels and must not reach for
+// sync / sync/atomic primitives.
+package hostblock
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var mu sync.Mutex // want `sync.Mutex is a host synchronization primitive`
+
+var counter atomic.Uint64 // want `atomic.Uint64 is a host synchronization primitive`
+
+type mailbox struct {
+	inbox chan int // want `inbox declares a host channel`
+}
+
+func channelOps(ch chan int) { // want `ch declares a host channel`
+	ch <- 1 // want `channel send blocks on the host scheduler`
+	v := <-ch // want `channel receive blocks on the host scheduler`
+	_ = v
+	close(ch) // want `close of a host channel`
+	for range ch { // want `range over a channel`
+	}
+	select { // want `select blocks on host channels`
+	default:
+	}
+}
+
+func syncOps(done *uint64) {
+	// Method calls on an already-flagged value are not re-reported: the
+	// declaration above is the single root cause.
+	mu.Lock()
+	mu.Unlock()
+	counter.Add(1)
+	atomic.AddUint64(done, 1) // want `atomic.AddUint64 is a host synchronization primitive`
+	var wg sync.WaitGroup // want `sync.WaitGroup is a host synchronization primitive`
+	wg.Wait()
+}
+
+// cleanOps pins the negative space: plain values, maps, and function calls
+// are untouched.
+func cleanOps(m map[int]int) int {
+	total := 0
+	for k := range m {
+		total += k
+	}
+	return total
+}

@@ -1,0 +1,73 @@
+// Package mrlifetime exercises the MR-lifetime analyzer: values owned by a
+// fabric — nodes, MRs, registered buffers, and aliases of them — are dead
+// once Fabric.Release returns the memory to the process-wide pool.
+package mrlifetime
+
+import "acuerdo/internal/rdma"
+
+// useAfterRelease reads a registered buffer after its fabric was released.
+func useAfterRelease(f *rdma.Fabric) byte {
+	n := f.AddNode("a")
+	mr := n.RegisterMemory(64)
+	f.Release()
+	return mr.Buf[0] // want `mr.Buf is used after its owning fabric was released`
+}
+
+// releaseAfterUse is the sanctioned order: copy what you need out of fabric
+// memory, then release.
+func releaseAfterUse(f *rdma.Fabric) byte {
+	n := f.AddNode("a")
+	mr := n.RegisterMemory(8)
+	v := mr.Buf[0]
+	f.Release()
+	return v
+}
+
+// doubleRelease uses the fabric itself after release.
+func doubleRelease(f *rdma.Fabric) {
+	f.Release()
+	f.Release() // want `f is used after its owning fabric was released`
+}
+
+type holder struct {
+	mr *rdma.MR
+}
+
+// fieldAlias parks a derived MR in a struct field; the alias dies with the
+// fabric too.
+func fieldAlias(f *rdma.Fabric) byte {
+	n := f.AddNode("a")
+	var h holder
+	h.mr = n.RegisterMemory(64)
+	f.Release()
+	return h.mr.Buf[0] // want `h.mr.Buf is used after its owning fabric was released`
+}
+
+// branchRelease releases on one path only; the use after the join is
+// reachable through the released path.
+func branchRelease(f *rdma.Fabric, done bool) *rdma.Node {
+	n := f.AddNode("a")
+	if done {
+		f.Release()
+	}
+	return n // want `n is used after its owning fabric was released`
+}
+
+// sliceEscape pins that an aliased byte slice of a registered region is
+// fabric memory: returning it after release hands out pooled bytes.
+func sliceEscape(f *rdma.Fabric) []byte {
+	n := f.AddNode("a")
+	mr := n.RegisterMemory(16)
+	buf := mr.Buf
+	f.Release()
+	return buf // want `buf is used after its owning fabric was released`
+}
+
+// unrelatedValue pins the precision side: values that do not derive from the
+// released fabric stay usable.
+func unrelatedValue(f *rdma.Fabric, other *rdma.MR) byte {
+	n := f.AddNode("a")
+	_ = n.RegisterMemory(8)
+	f.Release()
+	return other.Buf[0]
+}
