@@ -41,6 +41,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write the sweep as a machine-readable JSON artifact to this file")
 	fp := flag.Bool("fp", false, "trace every load point so results carry replay fingerprints (same tables, slower)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the last load point to this file (also enables the latency-decomposition and layer-counter reports)")
+	observe := flag.Bool("observe", false, "run every load point under the runtime invariant observers; a violation aborts with the witness report")
 	flag.Parse()
 
 	kinds := bench.AllKinds
@@ -90,6 +91,7 @@ func main() {
 			cfg.Measure = *measure
 			cfg.Warmup = *warmup
 			cfg.Seed = *seed
+			cfg.Observe = *observe
 			if ws != nil {
 				cfg.Windows = ws
 			}

@@ -1,13 +1,17 @@
-// Command bench-compare diffs two benchmark JSON artifacts written by
-// abcast-bench -json and exits non-zero on a regression. Deterministic
-// fields (committed counts, simulated time, throughput, latency quantiles,
-// trace fingerprints) must match exactly; wall-clock is compared only
-// within -wall-tolerance, and a negative tolerance skips it entirely —
-// use that when the baseline was measured on a different machine.
+// Command bench-compare diffs two benchmark JSON artifacts and exits
+// non-zero on a regression. It understands both artifact kinds — sweep
+// files written by abcast-bench -json and chaos files written by
+// chaos-bench -json — sniffing the kind from the file and requiring the
+// baseline to match. Deterministic fields (committed counts, simulated
+// time, throughput, latency quantiles, trace fingerprints, MTTR, observer
+// digests) must match exactly; wall-clock is compared only within
+// -wall-tolerance, and a negative tolerance skips it entirely — use that
+// when the baseline was measured on a different machine.
 //
 // Usage:
 //
 //	bench-compare -baseline BENCH_baseline.json -current out.json
+//	bench-compare -baseline chaos_base.json -current chaos.json
 //	bench-compare -baseline a.json -current b.json -wall-tolerance 0.10
 package main
 
@@ -29,6 +33,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench-compare: -baseline and -current are both required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	baseKind, err := bench.SniffArtifactKind(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+		os.Exit(2)
+	}
+	curKind, err := bench.SniffArtifactKind(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+		os.Exit(2)
+	}
+	if baseKind != curKind {
+		fmt.Fprintf(os.Stderr, "bench-compare: artifact kinds differ: baseline %q, current %q\n", baseKind, curKind)
+		os.Exit(2)
+	}
+	if baseKind == bench.ChaosArtifactKind {
+		base, err := bench.ReadChaosFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := bench.ReadChaosFile(*current)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+			os.Exit(2)
+		}
+		if err := bench.CompareChaosBaseline(cur, base, *wallTol); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-compare: REGRESSION: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench-compare: %d chaos cells match baseline %s\n", len(cur.Points), *baseline)
+		return
 	}
 	base, err := bench.ReadBenchFile(*baseline)
 	if err != nil {

@@ -16,6 +16,8 @@
 //	chaos-bench -scenarios leader-kill-storm
 //	chaos-bench -nodes 5 -seed 7 -v      # fired-action detail per run
 //	chaos-bench -parallel 0              # one worker per core, same tables
+//	chaos-bench -observe                 # runtime invariant observers on
+//	chaos-bench -observe -json out.json  # machine-readable artifact
 package main
 
 import (
@@ -37,6 +39,8 @@ func main() {
 	short := flag.Bool("short", false, "trimmed horizons for the CI chaos lane")
 	parallel := flag.Int("parallel", 1, "worker pool size: 0 = GOMAXPROCS, 1 = serial")
 	verbose := flag.Bool("v", false, "print per-run fired actions and unavailability windows")
+	observe := flag.Bool("observe", false, "run every system under the runtime invariant observers; any violation fails the run")
+	jsonPath := flag.String("json", "", "write a chaos artifact (bench-compare understands it) to this path")
 	flag.Parse()
 
 	kinds := bench.AllKinds
@@ -48,6 +52,7 @@ func main() {
 	}
 
 	cfg := bench.DefaultChaos(*nodes, *seed)
+	cfg.Observe = *observe
 	if *short {
 		cfg.Horizon = 80 * time.Millisecond
 		cfg.Drain = 30 * time.Millisecond
@@ -81,6 +86,15 @@ func main() {
 	}
 
 	exit := 0
+	var artifact *bench.ChaosFileJSON
+	if *jsonPath != "" {
+		name := "chaos"
+		if *short {
+			name = "chaos-short"
+		}
+		artifact = bench.NewChaosFileJSON(name)
+	}
+	start := time.Now()
 	for _, sc := range all {
 		fmt.Printf("scenario %s (%d nodes, seed %d)\n", sc.Name, *nodes, *seed)
 		results, _ := bench.RunScenarioAllParallel(sc, cfg, kinds, *parallel)
@@ -93,8 +107,27 @@ func main() {
 				fmt.Fprintf(os.Stderr, "SAFETY VIOLATION: %s under %s: %v\n", r.Kind, r.Plan, r.SafetyErr)
 				exit = 1
 			}
+			if r.Violations > 0 {
+				fmt.Fprintf(os.Stderr, "INVARIANT VIOLATIONS: %s under %s: %d\n", r.Kind, r.Plan, r.Violations)
+				for _, rep := range r.ViolationReports {
+					fmt.Fprintf(os.Stderr, "  %s\n", rep)
+				}
+				exit = 1
+			}
+		}
+		if artifact != nil {
+			artifact.Add(cfg, results)
 		}
 		fmt.Println()
+	}
+	if artifact != nil {
+		artifact.WallNS = int64(time.Since(start))
+		if err := artifact.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos-bench: writing %s: %v\n", *jsonPath, err)
+			exit = 1
+		} else {
+			fmt.Printf("wrote %d cells to %s\n", len(artifact.Points), *jsonPath)
+		}
 	}
 	os.Exit(exit)
 }

@@ -27,6 +27,18 @@ import (
 // between runs.
 type SystemBuilder func(sim *simnet.Sim, deliver func(replica int, payload []byte)) System
 
+// Observed is implemented by builders' return values (or wrappers around
+// them) that run under a runtime invariant observer (internal/observe). The
+// replay harness harvests the observer digest after the load completes and
+// folds it into the run fingerprint: the observer's entire check sequence —
+// every hook invocation and every violation — must replay bit-identically
+// from the same seed, exactly like the trace event stream.
+type Observed interface {
+	// ObserverDigest reports the streaming check digest, the number of hook
+	// invocations folded into it, and the number of invariant violations.
+	ObserverDigest() (digest, checks uint64, violations int64)
+}
+
 // ReplayRun captures everything one seeded run observed that the determinism
 // invariant promises to reproduce.
 type ReplayRun struct {
@@ -39,6 +51,12 @@ type ReplayRun struct {
 	// identical events in identical order, not just identical deliveries.
 	TraceFP     uint64
 	TraceEvents uint64
+	// ObserveDigest, ObserveChecks, and ObserveViolations summarize the
+	// runtime invariant observer's check stream when the built system
+	// implements Observed; all zero otherwise.
+	ObserveDigest     uint64
+	ObserveChecks     uint64
+	ObserveViolations int64
 }
 
 // replayReadyPolls bounds the pre-load warmup that waits for leader election,
@@ -78,6 +96,9 @@ func ReplayOnce(build SystemBuilder, replicas int, seed int64, cfg LoadConfig) (
 		return nil, fmt.Errorf("replay: %s: %w", sys.Name(), err)
 	}
 	run := &ReplayRun{Result: res, TraceFP: tr.Fingerprint(), TraceEvents: tr.Emitted()}
+	if obs, ok := sys.(Observed); ok {
+		run.ObserveDigest, run.ObserveChecks, run.ObserveViolations = obs.ObserverDigest()
+	}
 	for node := 0; node < replicas; node++ {
 		seq := checker.Delivered(node)
 		run.Delivered = append(run.Delivered, append([]uint64(nil), seq...))
@@ -111,6 +132,9 @@ func (r *ReplayRun) Fingerprint() []byte {
 	put(uint64(r.Result.Elapsed))
 	put(r.TraceFP)
 	put(r.TraceEvents)
+	put(r.ObserveDigest)
+	put(r.ObserveChecks)
+	put(uint64(r.ObserveViolations))
 	return buf.Bytes()
 }
 
@@ -179,6 +203,18 @@ func diffRuns(a, b *ReplayRun, i int) error {
 	if a.TraceFP != b.TraceFP {
 		return fmt.Errorf("replay diverged: trace fingerprint %016x in run 0 but %016x in run %d — same deliveries, different event stream (timing or scheduling drift)",
 			a.TraceFP, b.TraceFP, i)
+	}
+	if a.ObserveViolations != b.ObserveViolations {
+		return fmt.Errorf("replay diverged: run 0 reported %d invariant violations, run %d reported %d",
+			a.ObserveViolations, i, b.ObserveViolations)
+	}
+	if a.ObserveChecks != b.ObserveChecks {
+		return fmt.Errorf("replay diverged: run 0 performed %d invariant checks, run %d performed %d",
+			a.ObserveChecks, i, b.ObserveChecks)
+	}
+	if a.ObserveDigest != b.ObserveDigest {
+		return fmt.Errorf("replay diverged: observer digest %016x in run 0 but %016x in run %d — same check count, different check operands (shadow-state drift)",
+			a.ObserveDigest, b.ObserveDigest, i)
 	}
 	if !bytes.Equal(a.Fingerprint(), b.Fingerprint()) {
 		return fmt.Errorf("replay diverged: fingerprints differ between run 0 and run %d", i)

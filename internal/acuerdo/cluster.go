@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"acuerdo/internal/abcast"
+	"acuerdo/internal/observe"
 	"acuerdo/internal/rdma"
 	"acuerdo/internal/ringbuf"
 	"acuerdo/internal/simnet"
@@ -147,6 +148,31 @@ func NewCluster(sim *simnet.Sim, fabric *rdma.Fabric, cfg ClusterConfig) *Cluste
 		}
 	}
 	return c
+}
+
+// SetObserver attaches the runtime invariant observer (nil detaches):
+// replicas report election wins and committed entries, and the commit SST
+// registers its heartbeat cell for per-cell monotonicity. Only the
+// heartbeat (u64 at offset 12) registers — the commit header's Cnt field
+// legally resets at each epoch change, and the accept and vote SSTs carry
+// whole rows that legally regress across epochs. Replica memory survives
+// restarts (a rejoiner resumes from its committed header), so no restart
+// hook fires. Call before Start.
+func (c *Cluster) SetObserver(o *observe.Observer) {
+	for _, r := range c.Replicas {
+		r.obs = o
+		r.commitSST.Observe = nil
+	}
+	if o == nil {
+		return
+	}
+	tab := o.RegisterSST("acuerdo.commit", c.cfg.N, CommitCodec{}.Size(), []int{12}, nil)
+	for _, r := range c.Replicas {
+		r := r
+		r.commitSST.Observe = func(self int, row []byte) {
+			o.SSTRow(tab, self, int64(c.Sim.Now()), row)
+		}
+	}
 }
 
 // Start boots every replica (they elect a first leader) and the client's

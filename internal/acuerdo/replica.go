@@ -3,6 +3,7 @@ package acuerdo
 import (
 	"time"
 
+	"acuerdo/internal/observe"
 	"acuerdo/internal/rdma"
 	"acuerdo/internal/ringbuf"
 	"acuerdo/internal/simnet"
@@ -147,6 +148,8 @@ type Replica struct {
 	sent     []sentRec
 	relPtr   []int
 	released []uint64
+
+	obs *observe.Observer
 
 	Stats Stats
 
@@ -406,6 +409,7 @@ func (r *Replica) commitTask() {
 
 func (r *Replica) deliverEntry(e Entry) {
 	r.Node.Proc.Pause(r.Cfg.DeliverCost)
+	r.obs.AcuerdoCommit(int(r.ID), int64(r.Sim.Now()), e.Hdr.E.Round, uint32(e.Hdr.E.Ldr), e.Hdr.Cnt, trace.ID(e.Payload))
 	r.committed = e.Hdr
 	r.Stats.Delivered++
 	if tr := r.Sim.Tracer(); tr != nil {
@@ -564,6 +568,7 @@ func (r *Replica) becomeLeader() {
 	r.next = hdr
 	r.acceptSST.Set(hdr)
 	r.WonAt = r.Sim.Now()
+	r.obs.AcuerdoLeaderWin(int(r.ID), int64(r.WonAt), r.eCur.Round, uint32(r.eCur.Ldr))
 	if tr := r.Sim.Tracer(); tr != nil {
 		tr.Instant(trace.KElectWin, r.Node.ID, int64(r.WonAt), int64(r.eCur.Round), int64(r.eCur.Ldr))
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"acuerdo/internal/abcast"
+	"acuerdo/internal/observe"
 	"acuerdo/internal/rdma"
 	"acuerdo/internal/ringbuf"
 	"acuerdo/internal/simnet"
@@ -91,6 +92,7 @@ type Cluster struct {
 	ackIn  *ringbuf.Receiver
 
 	pending map[uint64]func()
+	obs     *observe.Observer
 
 	// OnDeliver observes every delivery.
 	OnDeliver func(replica int, index uint64, payload []byte)
@@ -135,6 +137,14 @@ func NewCluster(sim *simnet.Sim, fabric *rdma.Fabric, cfg Config) *Cluster {
 	c.ackIn = c.ackOut.AddPeer(c.client)
 	return c
 }
+
+// SetObserver attaches the runtime invariant observer (nil detaches): the
+// leader reports slot assignments and every replica reports deliveries, so
+// the observer checks that no replication slot is ever reassigned and that
+// every replica delivers the leader's assignment, in order. Per-replica
+// delivery frontiers survive restarts, so no restart hook fires. Call
+// before Start.
+func (c *Cluster) SetObserver(o *observe.Observer) { c.obs = o }
 
 // Start boots the leader, acceptor, and client loops.
 func (c *Cluster) Start() {
@@ -189,6 +199,7 @@ func (c *Cluster) sendBatch() {
 			c.store[0] = [][]byte{nil}
 		}
 		c.store[0] = append(c.store[0], payload)
+		c.obs.ApusAssign(0, int64(c.Sim.Now()), idx, trace.ID(payload))
 		slot := make([]byte, slotHdr+len(payload))
 		binary.LittleEndian.PutUint64(slot, idx)
 		binary.LittleEndian.PutUint32(slot[8:], uint32(len(payload)))
@@ -213,6 +224,7 @@ func (c *Cluster) commitUpTo(end uint64) {
 	for c.delivered[0] < end {
 		c.delivered[0]++
 		payload := c.store[0][c.delivered[0]]
+		c.obs.ApusDeliver(0, int64(c.Sim.Now()), c.delivered[0], trace.ID(payload))
 		if tr := c.Sim.Tracer(); tr != nil {
 			now := int64(c.Sim.Now())
 			tr.Instant(trace.KCommit, c.nodes[0].ID, now, trace.ID(payload), int64(c.delivered[0]))
@@ -278,6 +290,7 @@ func (c *Cluster) acceptorPoll(i int) {
 	commit := binary.LittleEndian.Uint64(c.commitMRs[i].Buf)
 	for c.delivered[i] < commit && c.delivered[i] < c.seen[i] {
 		c.delivered[i]++
+		c.obs.ApusDeliver(i, int64(c.Sim.Now()), c.delivered[i], trace.ID(c.store[i][c.delivered[i]]))
 		if tr := c.Sim.Tracer(); tr != nil {
 			tr.Instant(trace.KDeliver, c.nodes[i].ID, int64(c.Sim.Now()), trace.ID(c.store[i][c.delivered[i]]), int64(c.delivered[i]))
 			tr.Add(trace.CtrDelivers, 1)

@@ -14,6 +14,7 @@ import (
 	"acuerdo/internal/acuerdo"
 	"acuerdo/internal/apus"
 	"acuerdo/internal/derecho"
+	"acuerdo/internal/observe"
 	"acuerdo/internal/paxos"
 	"acuerdo/internal/raft"
 	"acuerdo/internal/rdma"
@@ -94,6 +95,11 @@ type Options struct {
 	// is built so that construction-time events (thread names, first
 	// elections) are captured too.
 	Tracer *trace.Tracer
+	// Observer, when non-nil, is attached to the system before it starts,
+	// so runtime invariant checking covers the first election onward. The
+	// instance then also satisfies abcast.Observed, which folds the
+	// observer digest into seed-replay fingerprints.
+	Observer *observe.Observer
 }
 
 // NewInstance builds, starts, and warms up (leader elected) one system.
@@ -127,6 +133,7 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 		}
 		cfg.Desched = opt.Desched
 		c := acuerdo.NewCluster(sim, fabric, cfg)
+		c.SetObserver(opt.Observer)
 		c.Start()
 		inst.Sys = c
 		inst.AcuerdoCluster = c
@@ -148,6 +155,7 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 			mode = derecho.AllMode
 		}
 		c := derecho.NewCluster(sim, fabric, derecho.DefaultConfig(n, mode))
+		c.SetObserver(opt.Observer)
 		c.Start()
 		inst.Sys = c
 		inst.DerechoCluster = c
@@ -165,6 +173,7 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 	case Apus:
 		fabric := rdma.NewFabric(sim, rdma.DefaultParams())
 		c := apus.NewCluster(sim, fabric, apus.DefaultConfig(n))
+		c.SetObserver(opt.Observer)
 		c.Start()
 		inst.Sys = c
 		inst.Fabric = fabric
@@ -181,6 +190,7 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 	case Libpaxos:
 		net := tcpnet.New(sim, tcpnet.DefaultParams())
 		c := paxos.NewCluster(sim, net, paxos.DefaultConfig(n))
+		c.SetObserver(opt.Observer)
 		c.Start()
 		inst.Sys = c
 		inst.Net = net
@@ -197,6 +207,7 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 	case Zookeeper:
 		net := tcpnet.New(sim, tcpnet.DefaultParams())
 		c := zab.NewCluster(sim, net, zab.DefaultConfig(n))
+		c.SetObserver(opt.Observer)
 		c.Start()
 		inst.Sys = c
 		inst.Net = net
@@ -213,6 +224,7 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 	case Etcd:
 		net := tcpnet.New(sim, tcpnet.DefaultParams())
 		c := raft.NewCluster(sim, net, raft.DefaultConfig(n))
+		c.SetObserver(opt.Observer)
 		c.Start()
 		inst.Sys = c
 		inst.Net = net
@@ -257,6 +269,11 @@ type Fig8Config struct {
 	MinCommitted int
 	// MaxMeasure caps the adaptive extension; zero means 10× Measure.
 	MaxMeasure time.Duration
+	// Observe runs every point under a runtime invariant observer
+	// (internal/observe). A sweep point is a fault-free world, so any
+	// violation is a protocol bug: RunPoint panics with the observer's
+	// witness report. Off by default — the hot path stays hook-free.
+	Observe bool
 }
 
 // DefaultWindows is the paper's 2^0..2^N load ladder.
@@ -291,7 +308,22 @@ func RunPoint(kind Kind, cfg Fig8Config, i int) abcast.LoadResult {
 	if cfg.TraceEvents > 0 {
 		opt.Tracer = trace.New(cfg.TraceEvents)
 	}
-	inst := NewInstance(kind, cfg.Nodes, cfg.Seed+int64(i), opt)
+	sim := simnet.New(cfg.Seed + int64(i))
+	var obs *observe.Observer
+	if cfg.Observe {
+		// The tracer must be installed before the observer is built so
+		// violations land in the trace stream too.
+		sim.SetTracer(opt.Tracer)
+		obs = NewObserver(sim, kind, cfg.Nodes)
+		opt.Observer = obs
+	}
+	inst := NewInstanceOn(sim, kind, cfg.Nodes, opt)
+	for w := 0; w < 400 && !inst.Sys.Ready(); w++ {
+		sim.RunFor(5 * time.Millisecond)
+	}
+	if !inst.Sys.Ready() {
+		panic(fmt.Sprintf("bench: %s/%d never became ready", kind, cfg.Nodes))
+	}
 	res := abcast.RunClosedLoop(inst.Sim, inst.Sys, abcast.LoadConfig{
 		Window:       cfg.Windows[i],
 		MsgSize:      cfg.MsgSize,
@@ -300,6 +332,10 @@ func RunPoint(kind Kind, cfg Fig8Config, i int) abcast.LoadResult {
 		MinCommitted: cfg.MinCommitted,
 		MaxMeasure:   cfg.MaxMeasure,
 	})
+	if obs != nil && obs.ViolationCount() > 0 {
+		panic(fmt.Sprintf("bench: %s/%d window %d violated invariants under fault-free load:\n%s",
+			kind, cfg.Nodes, cfg.Windows[i], obs.Report()))
+	}
 	inst.Close()
 	return res
 }

@@ -13,6 +13,7 @@ import (
 
 	"acuerdo/internal/abcast"
 	"acuerdo/internal/chaos"
+	"acuerdo/internal/observe"
 	"acuerdo/internal/simnet"
 	"acuerdo/internal/sweep"
 	"acuerdo/internal/trace"
@@ -105,6 +106,11 @@ type ChaosConfig struct {
 	// WatchdogBudget is the no-progress budget; a run with no client ack
 	// for this much simulated time is stopped and reported as wedged.
 	WatchdogBudget time.Duration
+	// Observe attaches a runtime invariant observer (internal/observe) to
+	// the instance: every protocol hook is checked against the invariant
+	// catalog and violations land in the result. Off by default — the
+	// observers-off hot path stays hook-free (nil-receiver no-ops).
+	Observe bool
 }
 
 // DefaultChaos returns the recovery benchmark's standard configuration.
@@ -149,6 +155,15 @@ type ChaosResult struct {
 	// to win, diff transfer included — the Table 1 statistic) for
 	// elections won during the fault window. Empty for other systems.
 	Elections []time.Duration
+	// Violations is the runtime invariant violation count when the run was
+	// observed (ChaosConfig.Observe); zero otherwise. ViolationReports
+	// carries the formatted witness reports (capped by the observer) and
+	// ObserveDigest/ObserveChecks the streaming check digest, which must
+	// replay bit-identically from the same seed.
+	Violations       int64
+	ViolationReports []string
+	ObserveDigest    uint64
+	ObserveChecks    uint64
 }
 
 // MeanMTTR returns the average recovery time over recovered faults, and
@@ -187,7 +202,13 @@ func (r ChaosResult) MaxMTTR() time.Duration {
 func RunScenario(kind Kind, sc chaos.Scenario, cfg ChaosConfig) ChaosResult {
 	tracer := trace.New(1 << 14)
 	sim := simnet.New(cfg.Seed)
-	inst := NewInstanceOn(sim, kind, cfg.Nodes, Options{Tracer: tracer})
+	opt := Options{Tracer: tracer}
+	var obs *observe.Observer
+	if cfg.Observe {
+		obs = NewObserver(sim, kind, cfg.Nodes)
+		opt.Observer = obs
+	}
+	inst := NewInstanceOn(sim, kind, cfg.Nodes, opt)
 	for i := 0; i < 400 && !inst.Sys.Ready(); i++ {
 		sim.RunFor(5 * time.Millisecond)
 	}
@@ -286,6 +307,14 @@ func RunScenario(kind Kind, sc chaos.Scenario, cfg ChaosConfig) ChaosResult {
 			}
 		}
 	}
+	if obs != nil {
+		res.Violations = obs.ViolationCount()
+		for _, v := range obs.Violations() {
+			res.ViolationReports = append(res.ViolationReports, v.String())
+		}
+		res.ObserveDigest = obs.Digest()
+		res.ObserveChecks = obs.Checks()
+	}
 	res.Fingerprint = tracer.Fingerprint()
 	return res
 }
@@ -316,7 +345,7 @@ func RunScenarioAllParallel(sc chaos.Scenario, cfg ChaosConfig, kinds []Kind, wo
 // run wedged (watchdog) or violated safety.
 func PrintRecoveryTable(w io.Writer, results []ChaosResult) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "system\tscenario\tacks\tfaults\trecovered\tmttr-mean\tmttr-max\tunavail\twedged\tsafety\tfingerprint\n")
+	fmt.Fprintf(tw, "system\tscenario\tacks\tfaults\trecovered\tmttr-mean\tmttr-max\tunavail\twedged\tsafety\tinvariants\tfingerprint\n")
 	for _, r := range results {
 		mean, n := r.MeanMTTR()
 		measured := len(r.Recoveries)
@@ -328,10 +357,18 @@ func PrintRecoveryTable(w io.Writer, results []ChaosResult) {
 		if r.SafetyErr != nil {
 			safety = "VIOLATION"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d/%d\t%.3fms\t%.3fms\t%.2fms\t%s\t%s\t%016x\n",
+		inv := "-"
+		if r.ObserveChecks > 0 || r.Violations > 0 {
+			if r.Violations == 0 {
+				inv = fmt.Sprintf("ok (%d)", r.ObserveChecks)
+			} else {
+				inv = fmt.Sprintf("%d VIOLATIONS", r.Violations)
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d/%d\t%.3fms\t%.3fms\t%.2fms\t%s\t%s\t%s\t%016x\n",
 			r.Kind, r.Plan, r.Acks, len(r.Fired), n, measured,
 			float64(mean)/1e6, float64(r.MaxMTTR())/1e6, float64(r.Unavail)/1e6,
-			wedged, safety, r.Fingerprint)
+			wedged, safety, inv, r.Fingerprint)
 	}
 	tw.Flush()
 }
@@ -351,5 +388,12 @@ func PrintChaosDetail(w io.Writer, r ChaosResult) {
 	}
 	if r.SafetyErr != nil {
 		fmt.Fprintf(w, "  SAFETY: %v\n", r.SafetyErr)
+	}
+	if r.ObserveChecks > 0 || r.Violations > 0 {
+		fmt.Fprintf(w, "  invariants: %d checks, %d violations, digest %016x\n",
+			r.ObserveChecks, r.Violations, r.ObserveDigest)
+	}
+	for _, rep := range r.ViolationReports {
+		fmt.Fprintf(w, "  INVARIANT: %s\n", rep)
 	}
 }

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestChaosJSONRoundTrip checks that a chaos artifact survives
+// write → read → CompareChaosBaseline against itself, that the artifact
+// kind sniffer distinguishes it from a sweep artifact, and that the
+// comparison actually fails when a deterministic field — including the
+// observer digest — drifts.
+func TestChaosJSONRoundTrip(t *testing.T) {
+	cfg := observedChaos(5)
+	results := []ChaosResult{
+		RunScenario(Acuerdo, storm(), cfg),
+		RunScenario(Etcd, storm(), cfg),
+	}
+	f := NewChaosFileJSON("chaos-test")
+	f.WallNS = 12345
+	f.Add(cfg, results)
+	if len(f.Points) != 2 {
+		t.Fatalf("artifact has %d points, want 2", len(f.Points))
+	}
+	for i, p := range f.Points {
+		if p.Fingerprint == "" || p.ObserveDigest == "" || p.ObserveChecks == 0 {
+			t.Fatalf("point %d missing fingerprint or observer verdict: %+v", i, p)
+		}
+	}
+	if f.Violations() != 0 {
+		t.Fatalf("observed %d violations in a clean run", f.Violations())
+	}
+
+	path := filepath.Join(t.TempDir(), "chaos.json")
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if kind, err := SniffArtifactKind(path); err != nil || kind != ChaosArtifactKind {
+		t.Fatalf("SniffArtifactKind = %q, %v; want %q", kind, err, ChaosArtifactKind)
+	}
+	back, err := ReadChaosFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareChaosBaseline(back, f, 0); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+
+	// Each drifted deterministic field must fail the comparison.
+	back.Points[0].Acks++
+	if err := CompareChaosBaseline(back, f, -1); err == nil {
+		t.Fatal("CompareChaosBaseline accepted a drifted ack count")
+	}
+	back.Points[0].Acks--
+	back.Points[1].ObserveDigest = "0000000000000000"
+	if err := CompareChaosBaseline(back, f, -1); err == nil {
+		t.Fatal("CompareChaosBaseline accepted a drifted observer digest")
+	}
+	back.Points[1].ObserveDigest = f.Points[1].ObserveDigest
+	back.Points[0].Violations = 3
+	if err := CompareChaosBaseline(back, f, -1); err == nil {
+		t.Fatal("CompareChaosBaseline accepted a drifted violation count")
+	}
+	back.Points[0].Violations = 0
+
+	// Wall-clock regression beyond tolerance must fail; negative tolerance
+	// must skip the check.
+	back.WallNS = f.WallNS*2 + 1
+	if err := CompareChaosBaseline(back, f, 0.10); err == nil {
+		t.Fatal("CompareChaosBaseline accepted a 2x wall-clock regression at 10% tolerance")
+	}
+	if err := CompareChaosBaseline(back, f, -1); err != nil {
+		t.Fatalf("negative tolerance should skip wall-clock: %v", err)
+	}
+
+	// A sweep artifact must not sniff as chaos, and must be rejected by the
+	// chaos reader.
+	sweep := NewFileJSON("figure8-test")
+	sweepPath := filepath.Join(t.TempDir(), "sweep.json")
+	if err := sweep.WriteFile(sweepPath); err != nil {
+		t.Fatal(err)
+	}
+	if kind, err := SniffArtifactKind(sweepPath); err != nil || kind == ChaosArtifactKind {
+		t.Fatalf("sweep artifact sniffed as %q, %v", kind, err)
+	}
+	if _, err := ReadChaosFile(sweepPath); err == nil {
+		t.Fatal("ReadChaosFile accepted a sweep artifact")
+	}
+}

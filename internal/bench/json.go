@@ -145,6 +145,202 @@ func ReadBenchFile(path string) (*FileJSON, error) {
 	return &f, nil
 }
 
+// ChaosPointJSON is one (system, scenario) cell of a chaos artifact. All
+// fields except nothing are deterministic: the whole row is a pure function
+// of the seed, so a baseline comparison demands exact equality.
+type ChaosPointJSON struct {
+	// System, Scenario, Nodes, and Seed identify the cell.
+	System   string `json:"system"`
+	Scenario string `json:"scenario"`
+	Nodes    int    `json:"nodes"`
+	Seed     int64  `json:"seed"`
+	// Acks is the client-visible commit count over the whole run; Fired is
+	// how many fault actions the engine applied.
+	Acks  int `json:"acks"`
+	Fired int `json:"fired"`
+	// Recovered of Measured disruptive faults recovered; the MTTR fields
+	// summarize their client-visible recovery times.
+	Recovered  int   `json:"recovered"`
+	Measured   int   `json:"measured"`
+	MTTRMeanNS int64 `json:"mttr_mean_ns"`
+	MTTRMaxNS  int64 `json:"mttr_max_ns"`
+	// UnavailNS totals the client-visible unavailability windows.
+	UnavailNS int64 `json:"unavail_ns"`
+	// Wedged reports whether the no-progress watchdog stopped the run.
+	Wedged bool `json:"wedged"`
+	// Safety carries the first atomic-broadcast safety violation ("" = ok).
+	Safety string `json:"safety,omitempty"`
+	// Fingerprint is the trace hash as 16 hex digits.
+	Fingerprint string `json:"fingerprint"`
+	// Violations, ViolationReports, ObserveChecks, and ObserveDigest carry
+	// the runtime invariant observer's verdict when the run was observed.
+	Violations       int64    `json:"violations"`
+	ViolationReports []string `json:"violation_reports,omitempty"`
+	ObserveChecks    uint64   `json:"observe_checks,omitempty"`
+	ObserveDigest    string   `json:"observe_digest,omitempty"`
+}
+
+// ChaosFileJSON is a whole chaos-lane artifact: every (system, scenario)
+// cell of one seeded recovery benchmark, plus host metadata.
+type ChaosFileJSON struct {
+	// Name identifies the run ("chaos", "chaos-short", ...); Kind is the
+	// artifact discriminator, always "chaos" (sweep artifacts have none),
+	// which is how cmd/bench-compare dispatches.
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// GoMaxProcs and WallNS are host metadata.
+	GoMaxProcs int   `json:"gomaxprocs"`
+	WallNS     int64 `json:"wall_ns"`
+	// Points holds the deterministic cells, in (scenario, system) run order.
+	Points []ChaosPointJSON `json:"points"`
+}
+
+// ChaosArtifactKind is the Kind discriminator chaos artifacts carry.
+const ChaosArtifactKind = "chaos"
+
+// NewChaosFileJSON creates an empty chaos artifact for the named run.
+func NewChaosFileJSON(name string) *ChaosFileJSON {
+	return &ChaosFileJSON{Name: name, Kind: ChaosArtifactKind, GoMaxProcs: runtime.GOMAXPROCS(0)}
+}
+
+// Add appends one scenario's cross-system results in run order.
+func (f *ChaosFileJSON) Add(cfg ChaosConfig, results []ChaosResult) {
+	for _, r := range results {
+		mean, n := r.MeanMTTR()
+		p := ChaosPointJSON{
+			System:           string(r.Kind),
+			Scenario:         r.Plan,
+			Nodes:            cfg.Nodes,
+			Seed:             cfg.Seed,
+			Acks:             r.Acks,
+			Fired:            len(r.Fired),
+			Recovered:        n,
+			Measured:         len(r.Recoveries),
+			MTTRMeanNS:       int64(mean),
+			MTTRMaxNS:        int64(r.MaxMTTR()),
+			UnavailNS:        int64(r.Unavail),
+			Wedged:           r.Watchdog != nil,
+			Fingerprint:      fmt.Sprintf("%016x", r.Fingerprint),
+			Violations:       r.Violations,
+			ViolationReports: r.ViolationReports,
+			ObserveChecks:    r.ObserveChecks,
+		}
+		if r.SafetyErr != nil {
+			p.Safety = r.SafetyErr.Error()
+		}
+		if r.ObserveChecks > 0 {
+			p.ObserveDigest = fmt.Sprintf("%016x", r.ObserveDigest)
+		}
+		f.Points = append(f.Points, p)
+	}
+}
+
+// Violations totals the invariant violations over every cell.
+func (f *ChaosFileJSON) Violations() int64 {
+	var total int64
+	for i := range f.Points {
+		total += f.Points[i].Violations
+	}
+	return total
+}
+
+// WriteFile writes the chaos artifact as indented JSON.
+func (f *ChaosFileJSON) WriteFile(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadChaosFile parses a chaos artifact previously written by WriteFile.
+func ReadChaosFile(path string) (*ChaosFileJSON, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f ChaosFileJSON
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Kind != ChaosArtifactKind {
+		return nil, fmt.Errorf("%s: kind %q is not a chaos artifact", path, f.Kind)
+	}
+	return &f, nil
+}
+
+// SniffArtifactKind reports a result file's discriminator without fully
+// parsing it: "chaos" for chaos artifacts, "" for sweep artifacts (which
+// predate the field). cmd/bench-compare dispatches on this.
+func SniffArtifactKind(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	return probe.Kind, nil
+}
+
+// CompareChaosBaseline checks cur against base. Every field of every cell
+// except host metadata is deterministic, so anything but exact equality is
+// a behaviour change: either a bug or a change that must regenerate the
+// committed baseline. Wall-clock is compared as in CompareBaseline.
+func CompareChaosBaseline(cur, base *ChaosFileJSON, wallTol float64) error {
+	if len(cur.Points) != len(base.Points) {
+		return fmt.Errorf("chaos: %d cells, baseline has %d", len(cur.Points), len(base.Points))
+	}
+	for i := range cur.Points {
+		c, b := &cur.Points[i], &base.Points[i]
+		id := fmt.Sprintf("cell %d (%s under %s)", i, b.System, b.Scenario)
+		if c.System != b.System || c.Scenario != b.Scenario || c.Nodes != b.Nodes || c.Seed != b.Seed {
+			return fmt.Errorf("chaos: %s: grid mismatch, got (%s under %s nodes=%d seed=%d)",
+				id, c.System, c.Scenario, c.Nodes, c.Seed)
+		}
+		if c.Violations != b.Violations {
+			return fmt.Errorf("chaos: %s: %d invariant violations, baseline %d", id, c.Violations, b.Violations)
+		}
+		if c.Safety != b.Safety {
+			return fmt.Errorf("chaos: %s: safety %q, baseline %q", id, c.Safety, b.Safety)
+		}
+		if c.Acks != b.Acks || c.Fired != b.Fired || c.Recovered != b.Recovered || c.Measured != b.Measured {
+			return fmt.Errorf("chaos: %s: acks/fired/recovered %d/%d/%d-of-%d, baseline %d/%d/%d-of-%d",
+				id, c.Acks, c.Fired, c.Recovered, c.Measured, b.Acks, b.Fired, b.Recovered, b.Measured)
+		}
+		if c.MTTRMeanNS != b.MTTRMeanNS || c.MTTRMaxNS != b.MTTRMaxNS || c.UnavailNS != b.UnavailNS {
+			return fmt.Errorf("chaos: %s: mttr mean/max %d/%d ns unavail %d ns, baseline %d/%d/%d",
+				id, c.MTTRMeanNS, c.MTTRMaxNS, c.UnavailNS, b.MTTRMeanNS, b.MTTRMaxNS, b.UnavailNS)
+		}
+		if c.Wedged != b.Wedged {
+			return fmt.Errorf("chaos: %s: wedged %v, baseline %v", id, c.Wedged, b.Wedged)
+		}
+		if c.Fingerprint != b.Fingerprint {
+			return fmt.Errorf("chaos: %s: trace fingerprint %s, baseline %s", id, c.Fingerprint, b.Fingerprint)
+		}
+		if c.ObserveDigest != "" && b.ObserveDigest != "" {
+			if c.ObserveChecks != b.ObserveChecks {
+				return fmt.Errorf("chaos: %s: %d observer checks, baseline %d", id, c.ObserveChecks, b.ObserveChecks)
+			}
+			if c.ObserveDigest != b.ObserveDigest {
+				return fmt.Errorf("chaos: %s: observer digest %s, baseline %s — same check count, different operands (shadow-state drift)",
+					id, c.ObserveDigest, b.ObserveDigest)
+			}
+		}
+	}
+	if wallTol >= 0 && base.WallNS > 0 {
+		limit := int64(float64(base.WallNS) * (1 + wallTol))
+		if cur.WallNS > limit {
+			return fmt.Errorf("chaos: wall-clock %v exceeds baseline %v by more than %.0f%%",
+				time.Duration(cur.WallNS), time.Duration(base.WallNS), wallTol*100)
+		}
+	}
+	return nil
+}
+
 // CompareBaseline checks cur against base and returns a non-nil error on
 // the first regression found.
 //

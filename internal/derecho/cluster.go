@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"acuerdo/internal/abcast"
+	"acuerdo/internal/observe"
 	"acuerdo/internal/rdma"
 	"acuerdo/internal/ringbuf"
 	"acuerdo/internal/simnet"
@@ -192,6 +193,10 @@ func (c *Cluster) LeaderIdx() int {
 	}
 	return -1
 }
+
+// SetObserver attaches the runtime invariant observer to the group (see
+// Group.SetObserver). Call before Start.
+func (c *Cluster) SetObserver(o *observe.Observer) { c.Group.SetObserver(o) }
 
 // Crash fail-stops member i; the survivors wedge, agree on the ragged
 // trim, and continue in a shrunken view.

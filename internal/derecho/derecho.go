@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"time"
 
+	"acuerdo/internal/observe"
 	"acuerdo/internal/rdma"
 	"acuerdo/internal/ringbuf"
 	"acuerdo/internal/simnet"
@@ -180,6 +181,8 @@ type Group struct {
 	OnDeliver func(replica, sender int, idx uint64, payload []byte)
 	// OnViewChange observes view installations.
 	OnViewChange func(replica int, view uint32, members []int)
+
+	obs *observe.Observer
 }
 
 // NewGroup builds a group of cfg.N members on the fabric.
@@ -222,6 +225,31 @@ func NewGroup(sim *simnet.Sim, fabric *rdma.Fabric, cfg Config) *Group {
 		}
 	}
 	return g
+}
+
+// SetObserver attaches the runtime invariant observer to every member: the
+// SST write hook checks per-cell monotonicity (receipt counters, heartbeat,
+// view number), and delivery/view-install hooks check virtual synchrony
+// (view agreement, majority view change, identical delivered prefixes at
+// installation). Call before Start; a nil observer leaves the group
+// unhooked, so the disabled path costs nothing.
+func (g *Group) SetObserver(o *observe.Observer) {
+	if o == nil {
+		return
+	}
+	g.obs = o
+	codec := rowCodec{n: g.Cfg.N}
+	mono64 := make([]int, 0, g.Cfg.N+1)
+	for s := 0; s < g.Cfg.N; s++ {
+		mono64 = append(mono64, 8*s) // per-sender receipt counters
+	}
+	mono64 = append(mono64, 8*g.Cfg.N) // heartbeat
+	id := o.RegisterSST("derecho.sst", g.Cfg.N, codec.Size(), mono64, []int{8*g.Cfg.N + 12})
+	for _, nd := range g.nodes {
+		nd.tab.Observe = func(self int, rowb []byte) {
+			o.SSTRow(id, self, int64(g.Sim.Now()), rowb)
+		}
+	}
 }
 
 // Node returns member i's fabric node (for fault injection).
@@ -467,6 +495,9 @@ func (nd *node) deliver() {
 				tr.Instant(trace.KDeliver, nd.rn.ID, now, trace.ID(pm.payload), int64(idx))
 				tr.Add(trace.CtrDelivers, 1)
 			}
+			if nd.g.obs != nil {
+				nd.g.obs.DerechoDeliver(nd.id, int64(nd.g.Sim.Now()), s, trace.ID(pm.payload))
+			}
 			if nd.g.OnDeliver != nil {
 				nd.g.OnDeliver(nd.id, s, idx, pm.payload)
 			}
@@ -664,6 +695,9 @@ func (nd *node) installView(view uint32, members []int, trim []uint64) {
 			if len(pm.payload) >= 8 {
 				nd.deliv[binary.LittleEndian.Uint64(pm.payload)] = true
 			}
+			if nd.g.obs != nil {
+				nd.g.obs.DerechoDeliver(nd.id, int64(nd.g.Sim.Now()), s, trace.ID(pm.payload))
+			}
 			if nd.g.OnDeliver != nil {
 				nd.g.OnDeliver(nd.id, s, idx, pm.payload)
 			}
@@ -689,6 +723,9 @@ func (nd *node) installView(view uint32, members []int, trim []uint64) {
 	nd.rotPos = 0
 	if tr := nd.g.Sim.Tracer(); tr != nil {
 		tr.Instant(trace.KElectWin, nd.rn.ID, int64(nd.g.Sim.Now()), int64(view), 0)
+	}
+	if nd.g.obs != nil {
+		nd.g.obs.DerechoViewInstall(nd.id, int64(nd.g.Sim.Now()), uint64(view), members)
 	}
 	nd.pushRow()
 	if nd.g.OnViewChange != nil {

@@ -148,7 +148,13 @@ func TestAnalyzerScopes(t *testing.T) {
 		// exportdoc covers only the harness API packages.
 		{"exportdoc", "acuerdo/internal/sweep", true},
 		{"exportdoc", "acuerdo/internal/bench", true},
+		{"exportdoc", "acuerdo/internal/observe", true},
 		{"exportdoc", "acuerdo/internal/zab", false},
+		// The observer package and its hook call-sites sit inside the
+		// determinism suite's default scope.
+		{"maporder", "acuerdo/internal/observe", true},
+		{"nowallclock", "acuerdo/internal/observe", true},
+		{"hostblock", "acuerdo/internal/observe", true},
 	}
 	for _, c := range cases {
 		az := byName[c.analyzer]

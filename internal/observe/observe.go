@@ -1,0 +1,891 @@
+// Package observe is the runtime protocol-invariant observer layer: a
+// deterministic, zero-cost-when-off companion to every chaos scenario and
+// sweep point that checks each protocol's safety argument while it runs,
+// in the style of "Specification and Runtime Checking of Derecho".
+//
+// The abcast checker validates atomic broadcast end to end (integrity, no
+// duplication, total order) but says nothing about *why* a protocol is
+// correct; when it fires, the root cause is an arbitrary distance upstream.
+// Observers instead subscribe to protocol state transitions through small
+// instrumentation hooks inside the seven systems plus the SST layer,
+// maintain shadow state per node, and flag the first transition that
+// contradicts the protocol's own invariant — virtual-synchrony view
+// agreement for derecho, log matching for raft/zab, ballot monotonicity for
+// paxos, leader uniqueness per term for the acuerdo ring, committed-prefix
+// immutability for apus, and per-cell monotonicity for every SST.
+//
+// Design constraints (mirroring internal/trace, see DESIGN.md §6.7):
+//
+//   - Zero cost when disabled: every hook has a nil-receiver fast path, so
+//     protocol code holds a possibly-nil *Observer and calls
+//     unconditionally. Cluster constructors additionally skip installing
+//     closure hooks (the SST write hook) when no observer is attached.
+//   - No dependency on simnet (protocol packages pass int64 simulated
+//     nanoseconds) and no dependency on any protocol package: hooks speak
+//     in plain integers, so observe sits below all seven systems.
+//   - Deterministic: shadow state is updated in simulator event order, maps
+//     are only ever indexed (never ranged with side effects), and every
+//     hook folds its operands into a streaming FNV digest, so two runs of
+//     the same seed perform bit-identical check sequences. The digest folds
+//     into abcast.VerifyReplay next to the trace fingerprint.
+//
+// On violation the observer records a structured report (node, invariant,
+// witness operands, simulated time, seed), emits a trace.KInvariant event so
+// the violation lands in the Chrome export next to the protocol phase
+// markers, and keeps running — one broken transition usually cascades, and
+// the full cascade is more diagnostic than the first frame alone.
+package observe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"acuerdo/internal/metrics"
+	"acuerdo/internal/trace"
+)
+
+// Invariant identifies one checked protocol invariant. Invariants are
+// stable small integers; names live in a side table so the check fast path
+// never touches a string.
+type Invariant uint8
+
+// The invariant catalog. Each constant names one property a hook checks;
+// DESIGN.md §6.7 gives the full statement and the known-unsound cases.
+const (
+	// InvSSTMonotone: registered cells of an SST row never decrease
+	// (per-cell monotonicity — the property that makes last-write-wins
+	// RDMA pushes safe).
+	InvSSTMonotone Invariant = iota
+	// InvViewAgreement: every node installing view v installs the same
+	// membership (derecho virtual synchrony).
+	InvViewAgreement
+	// InvViewMajority: a new view's membership intersects the installing
+	// node's previous view in a majority of the previous membership (the
+	// rule that prevents split-brain across a partition).
+	InvViewMajority
+	// InvVirtualSynchrony: nodes installing view v have delivered an
+	// identical message prefix at the moment of installation (no delivery
+	// across view gaps).
+	InvVirtualSynchrony
+	// InvLogMatching: two log entries with the same (index, term) carry
+	// the same payload, across all nodes and all time (raft Log Matching;
+	// zab's zxid analogue).
+	InvLogMatching
+	// InvCommitQuorum: a commit index never advances past an entry that is
+	// not yet replicated on a majority of shadow logs.
+	InvCommitQuorum
+	// InvCommitMonotone: a node's commit point never regresses (except
+	// across a restart, where volatile commit state may legally rewind).
+	InvCommitMonotone
+	// InvPrefixImmutable: no truncation or overwrite ever touches a node's
+	// committed prefix, and a leader never reassigns an already-assigned
+	// replication slot (apus committed-prefix immutability).
+	InvPrefixImmutable
+	// InvDeliveryAgreement: two nodes delivering at the same sequence
+	// position deliver the same message.
+	InvDeliveryAgreement
+	// InvDeliveryContiguous: a node's delivery sequence has no gaps.
+	InvDeliveryContiguous
+	// InvBallotMonotone: an acceptor's promised ballot never decreases
+	// (paxos P1a/P2a discipline).
+	InvBallotMonotone
+	// InvBallotSingleValue: at most one value is ever accepted under a
+	// given (instance, ballot) pair.
+	InvBallotSingleValue
+	// InvChosenAgreement: an instance is chosen with at most one value.
+	InvChosenAgreement
+	// InvLeaderUniqueness: at most one node wins a given term/epoch, and
+	// (for the acuerdo ring) the winner is the node named by the epoch.
+	InvLeaderUniqueness
+
+	numInvariants
+)
+
+// NumInvariants is the number of defined invariants (for iteration).
+const NumInvariants = int(numInvariants)
+
+var invariantNames = [numInvariants]string{
+	InvSSTMonotone:        "sst-monotone",
+	InvViewAgreement:      "view-agreement",
+	InvViewMajority:       "view-majority",
+	InvVirtualSynchrony:   "virtual-synchrony",
+	InvLogMatching:        "log-matching",
+	InvCommitQuorum:       "commit-quorum",
+	InvCommitMonotone:     "commit-monotone",
+	InvPrefixImmutable:    "prefix-immutable",
+	InvDeliveryAgreement:  "delivery-agreement",
+	InvDeliveryContiguous: "delivery-contiguous",
+	InvBallotMonotone:     "ballot-monotone",
+	InvBallotSingleValue:  "ballot-single-value",
+	InvChosenAgreement:    "chosen-agreement",
+	InvLeaderUniqueness:   "leader-uniqueness",
+}
+
+// String returns the invariant's stable name ("log-matching", ...).
+func (i Invariant) String() string {
+	if int(i) < len(invariantNames) {
+		return invariantNames[i]
+	}
+	return "unknown"
+}
+
+// Config parameterizes one observer, which watches one cluster instance.
+type Config struct {
+	// System is the observed system's name, stamped into every violation.
+	System string
+	// Nodes is the cluster size; quorum checks use Nodes/2+1.
+	Nodes int
+	// Seed is the simulation seed, stamped into violations so a report is
+	// replayable on its own.
+	Seed int64
+	// Tracer, when non-nil, receives a trace.KInvariant event per
+	// violation so violations land in the Chrome export.
+	Tracer *trace.Tracer
+}
+
+// Violation is one structured invariant-violation report: the witness the
+// observer saw, where and when it saw it, and the seed to replay it.
+type Violation struct {
+	// System is the observed system ("raft", "derecho", ...).
+	System string
+	// Invariant names the violated property.
+	Invariant Invariant
+	// Node is the replica whose transition tripped the check.
+	Node int
+	// At is the simulated time of the transition, in nanoseconds.
+	At int64
+	// Seed reproduces the run.
+	Seed int64
+	// A and B are the invariant-specific witness operands (the conflicting
+	// values, the regressed index, ...). Detail spells them out.
+	A, B int64
+	// Detail is the human-readable witness statement.
+	Detail string
+}
+
+// String renders the violation as one line, witness included.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s at node %d t=%dns seed=%d: %s (a=%d b=%d)",
+		v.System, v.Invariant, v.Node, v.At, v.Seed, v.Detail, v.A, v.B)
+}
+
+// maxViolations bounds the retained reports; one broken invariant under
+// closed-loop load cascades into thousands of identical witnesses, and the
+// first few localize the bug. Violations past the cap are still counted,
+// folded into the digest, and traced.
+const maxViolations = 64
+
+// FNV-1a parameters for the streaming check digest (same word-folded
+// variant as trace.Tracer: the digest is compared only against itself
+// between same-seed runs, never against external FNV values).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// registry spaces: one global first-writer-wins table serves every
+// agreement-flavored invariant, keyed by (space, a, b).
+const (
+	spaceLog uint8 = iota + 1
+	spaceDeliver
+	spaceBallot
+	spaceChosen
+	spaceLeader
+	spaceView
+	spaceVSCount
+	spaceVSHash
+	spaceAssign
+	spaceHdr
+)
+
+// hook opcodes folded into the digest, one per public hook, so the digest
+// distinguishes which checks ran, not just which operands flowed by.
+const (
+	opSSTSet uint64 = iota + 1
+	opDerechoDeliver
+	opViewInstall
+	opLogAppend
+	opLogTruncate
+	opCommitAdvance
+	opDeliver
+	opPromise
+	opAccept
+	opChosen
+	opLeader
+	opAcuerdoCommit
+	opAssign
+	opRestart
+	opViolation
+)
+
+type regKey struct {
+	space uint8
+	a, b  uint64
+}
+
+type regEntry struct {
+	val  int64
+	node int32
+	at   int64
+}
+
+// logEntry is one slot of a node's shadow log.
+type logEntry struct {
+	term  uint64
+	id    int64
+	valid bool
+}
+
+// nodeState is the per-node shadow state every checker reads and writes.
+type nodeState struct {
+	// raft/zab shadow log and committed-prefix length.
+	log         []logEntry
+	commitLen   uint64
+	commitValid bool
+
+	// generic delivery sequencing.
+	deliverNext uint64
+	deliverSeen bool
+
+	// paxos acceptor promise.
+	promised     uint64
+	promisedSeen bool
+
+	// derecho membership and delivered-prefix summary.
+	members    []int
+	dCount     uint64
+	dHash      uint64
+	vsEligible bool
+
+	// acuerdo committed header (epoch round, epoch leader, count).
+	aRound, aLdr, aCnt uint32
+	aSeen              bool
+}
+
+// sstShadow is the observer's copy of one SST's last-seen rows plus the
+// registered monotone-cell layout.
+type sstShadow struct {
+	name    string
+	rowSize int
+	monoU64 []int
+	monoU32 []int
+	rows    [][]byte
+	seen    []bool
+}
+
+// Observer checks one cluster's protocol invariants as it runs. All hook
+// methods are safe on a nil receiver (no-ops), which is the disabled state.
+// An Observer is not safe for concurrent use; the simulator is
+// single-threaded by construction.
+type Observer struct {
+	cfg    Config
+	digest uint64
+	checks uint64
+
+	counts [numInvariants]int64
+	fails  [numInvariants]int64
+
+	violations []Violation
+	truncated  int64
+
+	reg    map[regKey]regEntry
+	nodes  []nodeState
+	tables []*sstShadow
+}
+
+// New returns an enabled observer for one cluster of cfg.Nodes replicas.
+func New(cfg Config) *Observer {
+	o := &Observer{
+		cfg:    cfg,
+		digest: fnvOffset,
+		reg:    make(map[regKey]regEntry),
+		nodes:  make([]nodeState, cfg.Nodes),
+	}
+	for i := range o.nodes {
+		o.nodes[i].vsEligible = true
+	}
+	return o
+}
+
+// fold mixes one hook invocation into the streaming digest and counts the
+// check against inv.
+func (o *Observer) fold(inv Invariant, op uint64, node int, at, a, b int64) {
+	o.checks++
+	o.counts[inv]++
+	h := o.digest
+	h = (h ^ op) * fnvPrime
+	h = (h ^ uint64(int64(node))) * fnvPrime
+	h = (h ^ uint64(at)) * fnvPrime
+	h = (h ^ uint64(a)) * fnvPrime
+	h = (h ^ uint64(b)) * fnvPrime
+	o.digest = h
+}
+
+// violate records one violation: report (capped), counters, digest fold,
+// and a trace event.
+func (o *Observer) violate(inv Invariant, node int, at, a, b int64, format string, args ...any) {
+	o.fails[inv]++
+	h := o.digest
+	h = (h ^ opViolation) * fnvPrime
+	h = (h ^ uint64(inv)) * fnvPrime
+	o.digest = h
+	o.cfg.Tracer.Instant(trace.KInvariant, node, at, int64(inv), a)
+	o.cfg.Tracer.Add(trace.CtrViolations, 1)
+	if len(o.violations) >= maxViolations {
+		o.truncated++
+		return
+	}
+	o.violations = append(o.violations, Violation{
+		System:    o.cfg.System,
+		Invariant: inv,
+		Node:      node,
+		At:        at,
+		Seed:      o.cfg.Seed,
+		A:         a,
+		B:         b,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+// checkReg enforces first-writer-wins agreement on key: the first value
+// recorded under key is the truth, and any later disagreement is a
+// violation of inv. Returns the winning entry.
+func (o *Observer) checkReg(space uint8, a, b uint64, val int64, inv Invariant, node int, at int64, what string) regEntry {
+	key := regKey{space: space, a: a, b: b}
+	e, ok := o.reg[key]
+	if !ok {
+		e = regEntry{val: val, node: int32(node), at: at}
+		o.reg[key] = e
+		return e
+	}
+	if e.val != val {
+		o.violate(inv, node, at, val, e.val,
+			"%s: node %d recorded %d but node %d recorded %d at t=%dns",
+			what, node, val, e.node, e.val, e.at)
+	}
+	return e
+}
+
+// quorum returns the cluster's majority size.
+func (o *Observer) quorum() int { return o.cfg.Nodes/2 + 1 }
+
+// --- lifecycle ------------------------------------------------------------
+
+// NodeRestart resets the parts of node's shadow state that a protocol may
+// legally rewind across a crash/restart: the commit point (raft's volatile
+// commit index), delivery-sequence base, and the acuerdo committed header.
+// Protocols call it from their restart path before mirroring any state
+// changes, so the restart itself never reads as a violation. The node is
+// permanently excluded from the derecho virtual-synchrony prefix comparison
+// (a rejoining node's delivered prefix legitimately diverges — a documented
+// unsound case).
+func (o *Observer) NodeRestart(node int, at int64) {
+	if o == nil {
+		return
+	}
+	o.fold(InvCommitMonotone, opRestart, node, at, 0, 0)
+	ns := &o.nodes[node]
+	ns.commitValid = false
+	ns.deliverSeen = false
+	ns.aSeen = false
+	ns.vsEligible = false
+	ns.members = nil
+}
+
+// --- SST ------------------------------------------------------------------
+
+// RegisterSST registers one SST's monotone-cell layout: monoU64 and monoU32
+// are byte offsets of little-endian cells within a row that must never
+// decrease. Returns a handle for SSTRow; -1 on a nil observer.
+func (o *Observer) RegisterSST(name string, rows, rowSize int, monoU64, monoU32 []int) int {
+	if o == nil {
+		return -1
+	}
+	sh := &sstShadow{
+		name:    name,
+		rowSize: rowSize,
+		monoU64: append([]int(nil), monoU64...),
+		monoU32: append([]int(nil), monoU32...),
+		rows:    make([][]byte, rows),
+		seen:    make([]bool, rows),
+	}
+	for i := range sh.rows {
+		sh.rows[i] = make([]byte, rowSize)
+	}
+	o.tables = append(o.tables, sh)
+	return len(o.tables) - 1
+}
+
+// leU64 and leU32 decode little-endian cells without importing
+// encoding/binary on the hot path (the offsets are register-checked).
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// SSTRow checks one write of node's own row against the shadow copy:
+// every registered monotone cell must be >= its previous value. Callers
+// wire it through the sst.Table write hook.
+func (o *Observer) SSTRow(table, node int, at int64, row []byte) {
+	if o == nil {
+		return
+	}
+	sh := o.tables[table]
+	o.fold(InvSSTMonotone, opSSTSet, node, at, int64(table), int64(len(row)))
+	if sh.seen[node] {
+		old := sh.rows[node]
+		for _, off := range sh.monoU64 {
+			a, b := leU64(old[off:off+8]), leU64(row[off:off+8])
+			if b < a {
+				o.violate(InvSSTMonotone, node, at, int64(b), int64(a),
+					"sst %s: u64 cell at offset %d regressed %d -> %d", sh.name, off, a, b)
+			}
+		}
+		for _, off := range sh.monoU32 {
+			a, b := leU32(old[off:off+4]), leU32(row[off:off+4])
+			if b < a {
+				o.violate(InvSSTMonotone, node, at, int64(b), int64(a),
+					"sst %s: u32 cell at offset %d regressed %d -> %d", sh.name, off, a, b)
+			}
+		}
+	}
+	copy(sh.rows[node], row)
+	sh.seen[node] = true
+}
+
+// --- derecho --------------------------------------------------------------
+
+// DerechoDeliver records one stable delivery at node and checks cross-node
+// delivery agreement at the node's sequence position. Restarted nodes are
+// excluded from the position registry (their sequence restarts from zero).
+func (o *Observer) DerechoDeliver(node int, at int64, sender int, id int64) {
+	if o == nil {
+		return
+	}
+	o.fold(InvDeliveryAgreement, opDerechoDeliver, node, at, int64(sender), id)
+	ns := &o.nodes[node]
+	if ns.vsEligible {
+		o.checkReg(spaceDeliver, ns.dCount, 0, id, InvDeliveryAgreement, node, at,
+			fmt.Sprintf("derecho delivery position %d", ns.dCount))
+	}
+	ns.dCount++
+	h := ns.dHash
+	if h == 0 {
+		h = fnvOffset
+	}
+	h = (h ^ uint64(int64(sender))) * fnvPrime
+	h = (h ^ uint64(id)) * fnvPrime
+	ns.dHash = h
+}
+
+// DerechoViewInstall checks the virtual-synchrony invariants as node
+// installs view v with the given membership (copied and sorted here): all
+// installers of v agree on membership (view agreement), the new membership
+// intersects the node's previous membership in a majority of it (majority
+// view change), and all never-restarted installers of v have delivered an
+// identical prefix at installation time (no delivery across view gaps).
+func (o *Observer) DerechoViewInstall(node int, at int64, view uint64, members []int) {
+	if o == nil {
+		return
+	}
+	members = append([]int(nil), members...)
+	sort.Ints(members)
+	mh := uint64(fnvOffset)
+	for _, m := range members {
+		mh = (mh ^ uint64(int64(m))) * fnvPrime
+	}
+	o.fold(InvViewAgreement, opViewInstall, node, at, int64(view), int64(mh))
+	o.checkReg(spaceView, view, 0, int64(mh), InvViewAgreement, node, at,
+		fmt.Sprintf("derecho view %d membership", view))
+	ns := &o.nodes[node]
+	if ns.members != nil {
+		inter := 0
+		for _, m := range members {
+			for _, p := range ns.members {
+				if m == p {
+					inter++
+					break
+				}
+			}
+		}
+		o.counts[InvViewMajority]++
+		if inter <= len(ns.members)/2 {
+			o.violate(InvViewMajority, node, at, int64(view), int64(inter),
+				"derecho view %d: new membership %v intersects previous %v in only %d nodes (need > %d)",
+				view, members, ns.members, inter, len(ns.members)/2)
+		}
+	}
+	ns.members = append(ns.members[:0], members...)
+	if ns.vsEligible {
+		o.counts[InvVirtualSynchrony]++
+		o.checkReg(spaceVSCount, view, 0, int64(ns.dCount), InvVirtualSynchrony, node, at,
+			fmt.Sprintf("derecho view %d delivered-prefix length", view))
+		o.checkReg(spaceVSHash, view, 0, int64(ns.dHash), InvVirtualSynchrony, node, at,
+			fmt.Sprintf("derecho view %d delivered-prefix hash", view))
+	}
+}
+
+// --- raft / zab logs ------------------------------------------------------
+
+// LogAppend records node writing entry (index, term, id) and checks log
+// matching (same (index, term) implies same payload, globally) and
+// committed-prefix immutability (no overwrite below the node's commit
+// point with a different entry). index is zero-based.
+func (o *Observer) LogAppend(node int, at int64, index, term uint64, id int64) {
+	if o == nil {
+		return
+	}
+	o.fold(InvLogMatching, opLogAppend, node, at, int64(index), id)
+	o.checkReg(spaceLog, index, term, id, InvLogMatching, node, at,
+		fmt.Sprintf("log entry (index %d, term %d)", index, term))
+	ns := &o.nodes[node]
+	for uint64(len(ns.log)) <= index {
+		ns.log = append(ns.log, logEntry{})
+	}
+	old := ns.log[index]
+	if old.valid && (old.term != term || old.id != id) && ns.commitValid && index < ns.commitLen {
+		o.violate(InvPrefixImmutable, node, at, int64(index), int64(ns.commitLen),
+			"log entry at committed index %d overwritten: (term %d, id %d) -> (term %d, id %d), commit length %d",
+			index, old.term, old.id, term, id, ns.commitLen)
+	}
+	ns.log[index] = logEntry{term: term, id: id, valid: true}
+}
+
+// LogTruncate records node truncating its log to newLen entries and checks
+// that the truncation stays above the node's committed prefix.
+func (o *Observer) LogTruncate(node int, at int64, newLen uint64) {
+	if o == nil {
+		return
+	}
+	o.fold(InvPrefixImmutable, opLogTruncate, node, at, int64(newLen), 0)
+	ns := &o.nodes[node]
+	if ns.commitValid && newLen < ns.commitLen {
+		o.violate(InvPrefixImmutable, node, at, int64(newLen), int64(ns.commitLen),
+			"log truncated to %d entries below commit length %d", newLen, ns.commitLen)
+	}
+	if uint64(len(ns.log)) > newLen {
+		ns.log = ns.log[:newLen]
+	}
+}
+
+// CommitAdvance records node advancing its committed prefix to newLen
+// entries and checks that the commit point is monotone (restarts excepted;
+// see NodeRestart) and that the newly committed entry is replicated on a
+// majority of shadow logs with a matching (term, id).
+func (o *Observer) CommitAdvance(node int, at int64, newLen uint64) {
+	if o == nil {
+		return
+	}
+	o.fold(InvCommitQuorum, opCommitAdvance, node, at, int64(newLen), 0)
+	ns := &o.nodes[node]
+	if ns.commitValid && newLen < ns.commitLen {
+		o.violate(InvCommitMonotone, node, at, int64(newLen), int64(ns.commitLen),
+			"commit length regressed %d -> %d without a restart", ns.commitLen, newLen)
+	}
+	o.counts[InvCommitMonotone]++
+	if newLen > 0 {
+		idx := newLen - 1
+		if uint64(len(ns.log)) <= idx || !ns.log[idx].valid {
+			o.violate(InvCommitQuorum, node, at, int64(idx), int64(len(ns.log)),
+				"commit advanced to length %d but node's own log has no entry at index %d", newLen, idx)
+		} else {
+			want := ns.log[idx]
+			replicas := 0
+			for n := range o.nodes {
+				l := o.nodes[n].log
+				if uint64(len(l)) > idx && l[idx].valid && l[idx].term == want.term && l[idx].id == want.id {
+					replicas++
+				}
+			}
+			if replicas < o.quorum() {
+				o.violate(InvCommitQuorum, node, at, int64(idx), int64(replicas),
+					"entry (index %d, term %d) committed with only %d/%d replicas (need %d)",
+					idx, want.term, replicas, o.cfg.Nodes, o.quorum())
+			}
+		}
+	}
+	ns.commitLen = newLen
+	ns.commitValid = true
+}
+
+// --- generic delivery -----------------------------------------------------
+
+// Deliver records node delivering message id at sequence position seq and
+// checks contiguity (no gaps in the node's own sequence; the base re-arms
+// after a restart) and cross-node agreement (same position, same message).
+func (o *Observer) Deliver(node int, at int64, seq uint64, id int64) {
+	if o == nil {
+		return
+	}
+	o.fold(InvDeliveryContiguous, opDeliver, node, at, int64(seq), id)
+	ns := &o.nodes[node]
+	if ns.deliverSeen && seq != ns.deliverNext {
+		o.violate(InvDeliveryContiguous, node, at, int64(seq), int64(ns.deliverNext),
+			"delivery sequence gap: delivered position %d, expected %d", seq, ns.deliverNext)
+	}
+	ns.deliverNext = seq + 1
+	ns.deliverSeen = true
+	o.counts[InvDeliveryAgreement]++
+	o.checkReg(spaceDeliver, seq, 0, id, InvDeliveryAgreement, node, at,
+		fmt.Sprintf("delivery position %d", seq))
+}
+
+// --- paxos ----------------------------------------------------------------
+
+// PaxosPromise records acceptor node promising ballot and checks that the
+// promise never regresses.
+func (o *Observer) PaxosPromise(node int, at int64, ballot uint64) {
+	if o == nil {
+		return
+	}
+	o.fold(InvBallotMonotone, opPromise, node, at, int64(ballot), 0)
+	ns := &o.nodes[node]
+	if ns.promisedSeen && ballot < ns.promised {
+		o.violate(InvBallotMonotone, node, at, int64(ballot), int64(ns.promised),
+			"promised ballot regressed %d -> %d", ns.promised, ballot)
+	}
+	if !ns.promisedSeen || ballot > ns.promised {
+		ns.promised = ballot
+	}
+	ns.promisedSeen = true
+}
+
+// PaxosAccept records acceptor node accepting id for (inst, ballot) and
+// checks ballot monotonicity (accepting implies promising) plus
+// single-value-per-ballot: every acceptance under one (instance, ballot)
+// carries the same value.
+func (o *Observer) PaxosAccept(node int, at int64, inst, ballot uint64, id int64) {
+	if o == nil {
+		return
+	}
+	o.fold(InvBallotSingleValue, opAccept, node, at, int64(inst), id)
+	ns := &o.nodes[node]
+	o.counts[InvBallotMonotone]++
+	if ns.promisedSeen && ballot < ns.promised {
+		o.violate(InvBallotMonotone, node, at, int64(ballot), int64(ns.promised),
+			"accepted ballot %d below promised %d in instance %d", ballot, ns.promised, inst)
+	}
+	if !ns.promisedSeen || ballot > ns.promised {
+		ns.promised = ballot
+	}
+	ns.promisedSeen = true
+	o.checkReg(spaceBallot, inst, ballot, id, InvBallotSingleValue, node, at,
+		fmt.Sprintf("paxos (instance %d, ballot %d) value", inst, ballot))
+}
+
+// PaxosChosen records node learning that inst chose id and checks that an
+// instance is only ever chosen with one value.
+func (o *Observer) PaxosChosen(node int, at int64, inst uint64, id int64) {
+	if o == nil {
+		return
+	}
+	o.fold(InvChosenAgreement, opChosen, node, at, int64(inst), id)
+	o.checkReg(spaceChosen, inst, 0, id, InvChosenAgreement, node, at,
+		fmt.Sprintf("paxos instance %d chosen value", inst))
+}
+
+// --- elections ------------------------------------------------------------
+
+// LeaderElected records node winning term and checks that no other node
+// ever wins the same term (raft term, zab epoch, acuerdo epoch packed as
+// round<<32|leader).
+func (o *Observer) LeaderElected(node int, at int64, term uint64) {
+	if o == nil {
+		return
+	}
+	o.fold(InvLeaderUniqueness, opLeader, node, at, int64(term), 0)
+	o.checkReg(spaceLeader, term, 0, int64(node), InvLeaderUniqueness, node, at,
+		fmt.Sprintf("leader for term %d", term))
+}
+
+// AcuerdoLeaderWin records node winning the acuerdo epoch (round, ldr) and
+// checks both leader-uniqueness-per-term and that the winner is the node
+// the epoch names.
+func (o *Observer) AcuerdoLeaderWin(node int, at int64, round, ldr uint32) {
+	if o == nil {
+		return
+	}
+	if node != int(ldr) {
+		o.fold(InvLeaderUniqueness, opLeader, node, at, int64(round), int64(ldr))
+		o.violate(InvLeaderUniqueness, node, at, int64(round), int64(ldr),
+			"node %d won epoch (round %d, ldr %d) naming a different leader", node, round, ldr)
+		return
+	}
+	o.LeaderElected(node, at, uint64(round)<<32|uint64(ldr))
+}
+
+// --- acuerdo commits ------------------------------------------------------
+
+// cmpHdr orders acuerdo message headers: epoch (round, then leader id),
+// then count — the same order as acuerdo.MsgHdr.Cmp.
+func cmpHdr(r1, l1, c1, r2, l2, c2 uint32) int {
+	switch {
+	case r1 != r2:
+		if r1 < r2 {
+			return -1
+		}
+		return 1
+	case l1 != l2:
+		if l1 < l2 {
+			return -1
+		}
+		return 1
+	case c1 != c2:
+		if c1 < c2 {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// AcuerdoCommit records node committing the entry with header (round, ldr,
+// cnt) carrying id, and checks that the node's committed header is monotone
+// in header order (restarts excepted) and that every node binds the same
+// payload to the same header.
+func (o *Observer) AcuerdoCommit(node int, at int64, round, ldr, cnt uint32, id int64) {
+	if o == nil {
+		return
+	}
+	o.fold(InvCommitMonotone, opAcuerdoCommit, node, at, int64(uint64(round)<<32|uint64(ldr)), int64(cnt))
+	ns := &o.nodes[node]
+	if ns.aSeen && cmpHdr(round, ldr, cnt, ns.aRound, ns.aLdr, ns.aCnt) < 0 {
+		o.violate(InvCommitMonotone, node, at, int64(uint64(round)<<32|uint64(ldr)), int64(cnt),
+			"committed header regressed (round %d, ldr %d, cnt %d) -> (round %d, ldr %d, cnt %d)",
+			ns.aRound, ns.aLdr, ns.aCnt, round, ldr, cnt)
+	}
+	ns.aRound, ns.aLdr, ns.aCnt = round, ldr, cnt
+	ns.aSeen = true
+	o.counts[InvDeliveryAgreement]++
+	o.checkReg(spaceHdr, uint64(round)<<32|uint64(ldr), uint64(cnt), id, InvDeliveryAgreement, node, at,
+		fmt.Sprintf("acuerdo header (round %d, ldr %d, cnt %d) payload", round, ldr, cnt))
+}
+
+// --- apus -----------------------------------------------------------------
+
+// ApusAssign records the leader binding replication slot idx to id and
+// checks that a slot, once assigned, is never reassigned to a different
+// message (committed-prefix immutability at the source).
+func (o *Observer) ApusAssign(node int, at int64, idx uint64, id int64) {
+	if o == nil {
+		return
+	}
+	o.fold(InvPrefixImmutable, opAssign, node, at, int64(idx), id)
+	o.checkReg(spaceAssign, idx, 0, id, InvPrefixImmutable, node, at,
+		fmt.Sprintf("apus slot %d assignment", idx))
+}
+
+// ApusDeliver records node delivering slot idx carrying id: generic
+// delivery contiguity/agreement plus a check that the delivered payload
+// matches the leader's slot assignment.
+func (o *Observer) ApusDeliver(node int, at int64, idx uint64, id int64) {
+	if o == nil {
+		return
+	}
+	o.Deliver(node, at, idx, id)
+	o.counts[InvPrefixImmutable]++
+	o.checkReg(spaceAssign, idx, 0, id, InvPrefixImmutable, node, at,
+		fmt.Sprintf("apus slot %d delivered payload", idx))
+}
+
+// --- results --------------------------------------------------------------
+
+// Digest returns the streaming FNV digest over every hook invocation and
+// violation so far. Two same-seed runs must produce the same digest; the
+// replay harness asserts exactly that. Zero on a nil observer.
+func (o *Observer) Digest() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.digest
+}
+
+// Checks returns the total number of hook invocations observed (0 on nil).
+func (o *Observer) Checks() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.checks
+}
+
+// ViolationCount returns the total number of violations, including any
+// past the retention cap.
+func (o *Observer) ViolationCount() int64 {
+	if o == nil {
+		return 0
+	}
+	return int64(len(o.violations)) + o.truncated
+}
+
+// Violations returns the retained violation reports in detection order.
+// The slice is a copy.
+func (o *Observer) Violations() []Violation {
+	if o == nil {
+		return nil
+	}
+	return append([]Violation(nil), o.violations...)
+}
+
+// Report renders every retained violation, one per line, with a truncation
+// note when reports were capped. Empty when no invariant fired.
+func (o *Observer) Report() string {
+	if o == nil || o.ViolationCount() == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, v := range o.violations {
+		sb.WriteString(v.String())
+		sb.WriteByte('\n')
+	}
+	if o.truncated > 0 {
+		fmt.Fprintf(&sb, "... and %d more violations past the retention cap\n", o.truncated)
+	}
+	return sb.String()
+}
+
+// InvariantCount is one invariant's check and violation tally.
+type InvariantCount struct {
+	// Invariant names the property.
+	Invariant Invariant
+	// Checks is how many times the property was evaluated.
+	Checks int64
+	// Violations is how many evaluations failed.
+	Violations int64
+}
+
+// Counters returns the per-invariant tallies in invariant order, skipping
+// invariants that were never checked. Nil on a nil observer.
+func (o *Observer) Counters() []InvariantCount {
+	if o == nil {
+		return nil
+	}
+	var out []InvariantCount
+	for i := Invariant(0); i < numInvariants; i++ {
+		if o.counts[i] == 0 && o.fails[i] == 0 {
+			continue
+		}
+		out = append(out, InvariantCount{Invariant: i, Checks: o.counts[i], Violations: o.fails[i]})
+	}
+	return out
+}
+
+// Metrics surfaces the per-invariant tallies as a metrics.CounterSet
+// ("observe.<invariant>.checks" / ".violations"), sorted by name. Nil on a
+// nil observer.
+func (o *Observer) Metrics() *metrics.CounterSet {
+	if o == nil {
+		return nil
+	}
+	cs := metrics.NewCounterSet()
+	for _, c := range o.Counters() {
+		cs.Add("observe."+c.Invariant.String()+".checks", c.Checks)
+		cs.Add("observe."+c.Invariant.String()+".violations", c.Violations)
+	}
+	cs.Sort()
+	return cs
+}

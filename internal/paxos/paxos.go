@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"acuerdo/internal/abcast"
+	"acuerdo/internal/observe"
 	"acuerdo/internal/simnet"
 	"acuerdo/internal/tcpnet"
 	"acuerdo/internal/trace"
@@ -103,6 +104,7 @@ type Cluster struct {
 	toServer []*tcpnet.Conn
 	toClient []*tcpnet.Conn
 	pending  map[uint64]func()
+	obs      *observe.Observer
 
 	// OnDeliver observes deliveries at every learner.
 	OnDeliver func(replica int, instance uint64, payload []byte)
@@ -148,6 +150,12 @@ func NewCluster(sim *simnet.Sim, net *tcpnet.Net, cfg Config) *Cluster {
 	}
 	return c
 }
+
+// SetObserver attaches the runtime invariant observer (nil detaches):
+// promises, acceptances, chosen values, deliveries, and phase-1 wins report
+// to it. Acceptor and learner state are durable across restarts, so no
+// restart hook fires. Call before Start.
+func (c *Cluster) SetObserver(o *observe.Observer) { c.obs = o }
 
 // Start boots the deployment with server 0 as proposer (ballot = id+1).
 func (c *Cluster) Start() {
@@ -275,6 +283,7 @@ func (s *Server) onAccept(ballot, inst uint64, payload []byte) {
 	s.promised = ballot
 	s.node.Proc.Pause(s.c.cfg.AcceptorOpCost)
 	s.accepted[inst] = acceptedVal{ballot: ballot, payload: append([]byte(nil), payload...)}
+	s.c.obs.PaxosAccept(s.id, int64(s.c.Sim.Now()), inst, ballot, trace.ID(payload))
 	if tr := s.c.Sim.Tracer(); tr != nil {
 		tr.Instant(trace.KAccept, s.id, int64(s.c.Sim.Now()), trace.ID(payload), int64(inst))
 		tr.Add(trace.CtrAccepts, 1)
@@ -310,6 +319,7 @@ func (s *Server) onAccepted(ballot, inst uint64, from int, payload []byte) {
 	if n >= s.c.quorum() {
 		if _, ok := s.chosen[inst]; !ok {
 			s.chosen[inst] = append([]byte(nil), payload...)
+			s.c.obs.PaxosChosen(s.id, int64(s.c.Sim.Now()), inst, trace.ID(payload))
 		}
 		s.deliver()
 	}
@@ -324,6 +334,7 @@ func (s *Server) deliver() {
 		inst := s.delivered
 		s.delivered++
 		delete(s.learned, inst)
+		s.c.obs.Deliver(s.id, int64(s.c.Sim.Now()), inst, trace.ID(payload))
 		if tr := s.c.Sim.Tracer(); tr != nil {
 			now := int64(s.c.Sim.Now())
 			if s.leading {
@@ -390,7 +401,14 @@ func (s *Server) shouldTakeOver() bool {
 func (s *Server) takeOver() {
 	s.leading = true
 	s.preparing = true
-	s.ballot = s.promised + uint64(s.c.cfg.N) + uint64(s.id) + 1
+	// Ballots are node-disjoint (ballot ≡ id+1 mod N), so no two reigns can
+	// ever share a ballot number — the property the single-value-per-ballot
+	// invariant rests on. A plain promised+offset scheme lets two sequential
+	// proposers that overheard different prefixes of each other's reigns
+	// collide on one ballot, and acceptors would accept both proposers'
+	// (possibly different) values for an instance under it.
+	n := uint64(s.c.cfg.N)
+	s.ballot = (s.promised/n+1)*n + uint64(s.id) + 1
 	if tr := s.c.Sim.Tracer(); tr != nil {
 		tr.Instant(trace.KElectStart, s.id, int64(s.c.Sim.Now()), int64(s.ballot), 0)
 		tr.Add(trace.CtrElections, 1)
@@ -413,6 +431,7 @@ func (s *Server) onPrepare(ballot, fromInst uint64, from int) {
 		s.stepDown()
 	}
 	s.promised = ballot
+	s.c.obs.PaxosPromise(s.id, int64(s.c.Sim.Now()), ballot)
 	var insts []uint64
 	for inst := range s.accepted {
 		if inst >= fromInst {
@@ -451,6 +470,7 @@ func (s *Server) onPromise(ballot uint64, from int, payload []byte) {
 	if tr := s.c.Sim.Tracer(); tr != nil {
 		tr.Instant(trace.KElectWin, s.id, int64(s.c.Sim.Now()), int64(s.ballot), 0)
 	}
+	s.c.obs.LeaderElected(s.id, int64(s.c.Sim.Now()), s.ballot)
 	// Merge reported values, keeping the highest ballot per instance.
 	best := make(map[uint64]acceptedVal)
 	for _, buf := range s.promises {
@@ -522,6 +542,7 @@ func (s *Server) onLearn(payload []byte) {
 		pl := payload[off+12 : off+12+ln]
 		if _, ok := s.chosen[inst]; !ok {
 			s.chosen[inst] = append([]byte(nil), pl...)
+			s.c.obs.PaxosChosen(s.id, int64(s.c.Sim.Now()), inst, trace.ID(pl))
 		}
 		off += 12 + ln
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"acuerdo/internal/abcast"
+	"acuerdo/internal/observe"
 	"acuerdo/internal/simnet"
 	"acuerdo/internal/tcpnet"
 	"acuerdo/internal/trace"
@@ -117,7 +118,16 @@ type Cluster struct {
 
 	// OnDeliver observes every applied entry at every replica.
 	OnDeliver func(replica int, index int, payload []byte)
+
+	obs *observe.Observer
 }
+
+// SetObserver attaches the runtime invariant observer: log appends,
+// truncations, and commit advances feed the log-matching, commit-quorum,
+// and committed-prefix checkers; elections feed leader-uniqueness-per-term;
+// applies feed delivery agreement and contiguity. Call before Start; nil
+// detaches (hooks are nil-receiver no-ops).
+func (c *Cluster) SetObserver(o *observe.Observer) { c.obs = o }
 
 // NewCluster builds the group.
 func NewCluster(sim *simnet.Sim, net *tcpnet.Net, cfg Config) *Cluster {
@@ -291,11 +301,13 @@ func (s *Server) becomeLeader() {
 	if tr := s.c.Sim.Tracer(); tr != nil {
 		tr.Instant(trace.KElectWin, s.id, int64(s.c.Sim.Now()), int64(s.term), 0)
 	}
+	s.c.obs.LeaderElected(s.id, int64(s.c.Sim.Now()), s.term)
 	// Commit barrier (Raft §5.4.2): a leader only counts replicas for
 	// entries of its own term, so append a no-op to drive commitment of
 	// any entries inherited from dead leaders. No-ops carry no payload
 	// and are invisible to the application.
 	s.log = append(s.log, entry{term: s.term})
+	s.c.obs.LogAppend(s.id, int64(s.c.Sim.Now()), uint64(len(s.log)-1), s.term, 0)
 	s.persist(len(s.log), func() { s.advanceCommit() })
 	s.heartbeat()
 }
@@ -416,6 +428,7 @@ func (s *Server) onAppend(m []byte) {
 					}
 				}
 				s.log = s.log[:idx]
+				s.c.obs.LogTruncate(s.id, int64(s.c.Sim.Now()), uint64(idx))
 				if s.persisted > idx {
 					s.persisted = idx
 				}
@@ -427,6 +440,7 @@ func (s *Server) onAppend(m []byte) {
 			appended = true
 		}
 		if appended {
+			s.c.obs.LogAppend(s.id, int64(s.c.Sim.Now()), uint64(idx), e.term, trace.ID(e.payload))
 			if len(e.payload) >= 8 {
 				s.seen[abcast.MsgID(e.payload)] = true
 			}
@@ -444,6 +458,7 @@ func (s *Server) onAppend(m []byte) {
 				c = len(s.log)
 			}
 			s.commit = c
+			s.c.obs.CommitAdvance(s.id, int64(s.c.Sim.Now()), uint64(c))
 			s.apply()
 		}
 	}
@@ -531,6 +546,7 @@ func (s *Server) advanceCommit() {
 		}
 		if n >= s.c.quorum() {
 			s.commit = idx
+			s.c.obs.CommitAdvance(s.id, int64(s.c.Sim.Now()), uint64(idx))
 			s.apply()
 			break
 		}
@@ -541,6 +557,7 @@ func (s *Server) apply() {
 	for s.applied < s.commit {
 		e := s.log[s.applied]
 		s.applied++
+		s.c.obs.Deliver(s.id, int64(s.c.Sim.Now()), uint64(s.applied-1), trace.ID(e.payload))
 		if len(e.payload) < 8 {
 			continue // election no-op barrier: invisible to the application
 		}
@@ -588,6 +605,7 @@ func (s *Server) propose(payload []byte) {
 		}
 		s.seen[id] = true
 		s.log = append(s.log, entry{term: s.term, payload: p})
+		s.c.obs.LogAppend(s.id, int64(s.c.Sim.Now()), uint64(len(s.log)-1), s.term, trace.ID(p))
 		if tr := s.c.Sim.Tracer(); tr != nil {
 			tr.Instant(trace.KPropose, s.id, int64(s.c.Sim.Now()), trace.ID(p), int64(len(s.log)))
 			tr.Add(trace.CtrProposes, 1)
@@ -622,6 +640,10 @@ func (c *Cluster) Restart(i int) {
 		return
 	}
 	s.node.Recover()
+	// Tell the observer first: the volatile commit index may legally rewind
+	// across a restart, and the WAL-replay truncation below must not read
+	// as a committed-prefix violation.
+	c.obs.NodeRestart(i, int64(c.Sim.Now()))
 	// Crash interrupts an in-flight fsync: its callbacks are gone.
 	s.persistBusy = false
 	s.persistCBs = nil
@@ -634,6 +656,7 @@ func (c *Cluster) Restart(i int) {
 		}
 	}
 	s.log = s.log[:s.persisted]
+	c.obs.LogTruncate(i, int64(c.Sim.Now()), uint64(s.persisted))
 	if s.commit > s.persisted {
 		s.commit = s.persisted
 	}

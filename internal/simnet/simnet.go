@@ -44,6 +44,7 @@ type Sim struct {
 	q       calQueue
 	seq     uint64
 	rng     *rand.Rand
+	seed    int64
 	stopped bool
 	tracer  *trace.Tracer
 	procs   []*Proc
@@ -54,13 +55,18 @@ type Sim struct {
 
 // New creates a simulator whose random number generator is seeded with seed.
 func New(seed int64) *Sim {
-	s := &Sim{rng: rand.New(rand.NewSource(seed))}
+	s := &Sim{rng: rand.New(rand.NewSource(seed)), seed: seed}
 	s.q.init()
 	return s
 }
 
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }
+
+// Seed returns the seed the simulator was created with; harnesses stamp it
+// into diagnostics (invariant-violation reports) so a finding carries its
+// own reproduction recipe.
+func (s *Sim) Seed() int64 { return s.seed }
 
 // Rand returns the simulator's deterministic random number generator.
 func (s *Sim) Rand() *rand.Rand { return s.rng }

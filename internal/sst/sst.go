@@ -33,6 +33,13 @@ type Table[T any] struct {
 	local  *rdma.MR   // local replica: peers write their rows here
 	remote []*rdma.MR // peers' replicas (remote[Self] == local)
 	qps    []*rdma.QP // qps[j] targets node j (nil for Self)
+
+	// Observe, when non-nil, is invoked after every Set with this node's
+	// freshly encoded row. The runtime invariant observers
+	// (internal/observe) hook it to check per-cell monotonicity at the
+	// write source — the property that makes last-write-wins RDMA pushes
+	// safe. Left nil (the default), Set pays nothing.
+	Observe func(self int, row []byte)
 }
 
 // Build creates one table replicated across nodes, returning the per-node
@@ -72,6 +79,9 @@ func (t *Table[T]) rowBytes(i int) []byte {
 // Set stores v into this node's local row without pushing it.
 func (t *Table[T]) Set(v T) {
 	t.codec.Encode(t.rowBytes(t.Self), v)
+	if t.Observe != nil {
+		t.Observe(t.Self, t.rowBytes(t.Self))
+	}
 }
 
 // Get decodes row i from the local replica.

@@ -64,6 +64,11 @@ const (
 	KLatSpike // latency-spike window changed; A=extra ns (0 clears), B=to node
 	KWatchdog // no-progress watchdog fired; A=budget ns, B=progress value
 
+	// Runtime invariant observers (internal/observe). Appended after the
+	// chaos kinds so every pre-existing kind keeps its value: observers-off
+	// runs emit byte-identical streams to older builds.
+	KInvariant // protocol invariant violated; A=invariant id, B=witness operand
+
 	numKinds
 )
 
@@ -97,6 +102,7 @@ var kindNames = [numKinds]string{
 	KLossDrop:    "chaos.loss_drop",
 	KLatSpike:    "chaos.lat_spike",
 	KWatchdog:    "chaos.watchdog",
+	KInvariant:   "observe.violation",
 }
 
 // KindName returns the stable name of k ("rdma.cqe", "proto.commit", ...).
@@ -137,6 +143,7 @@ var kindCats = [numKinds]string{
 	KLossDrop:    "chaos",
 	KLatSpike:    "chaos",
 	KWatchdog:    "chaos",
+	KInvariant:   "observe",
 }
 
 // Counter identifies a monotonic per-layer counter.
@@ -179,6 +186,8 @@ const (
 	CtrSpikeDelay // ns of extra latency injected by spike windows
 	CtrWatchdogs  // no-progress watchdog firings
 
+	CtrViolations // protocol invariant violations reported by observers
+
 	numCounters
 )
 
@@ -213,6 +222,7 @@ var counterNames = [numCounters]string{
 	CtrLossDelay:    "chaos.loss_delay_ns",
 	CtrSpikeDelay:   "chaos.spike_delay_ns",
 	CtrWatchdogs:    "chaos.watchdogs",
+	CtrViolations:   "observe.violations",
 }
 
 // NumCounters is the number of defined counters (for iteration).

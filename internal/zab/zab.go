@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"acuerdo/internal/abcast"
+	"acuerdo/internal/observe"
 	"acuerdo/internal/simnet"
 	"acuerdo/internal/tcpnet"
 	"acuerdo/internal/trace"
@@ -157,6 +158,7 @@ type Cluster struct {
 	toLeader []*tcpnet.Conn // client -> each server
 	toClient []*tcpnet.Conn // each server -> client
 	pending  map[uint64]func()
+	obs      *observe.Observer
 
 	// OnDeliver observes every delivery (tests, KV store).
 	OnDeliver func(replica int, zxid uint64, payload []byte)
@@ -201,6 +203,15 @@ func NewCluster(sim *simnet.Sim, net *tcpnet.Net, cfg Config) *Cluster {
 	}
 	return c
 }
+
+// SetObserver attaches the runtime invariant observer (nil detaches). Log
+// appends, truncations, commits, and deliveries report to it; zab's
+// committed prefix is durable across restarts, so no restart hook fires.
+// Leader uniqueness is deliberately not asserted: fast leader election can
+// produce same-epoch dual winners that the recovery phase (quorum of
+// NEWLEADER acks) resolves, so a becomeLeader transition alone proves
+// nothing. Call before Start.
+func (c *Cluster) SetObserver(o *observe.Observer) { c.obs = o }
 
 // Start boots every server into election.
 func (c *Cluster) Start() {
@@ -255,6 +266,7 @@ func (s *Server) clientRequest(payload []byte) {
 		s.lastZxid = zxid
 		e := entry{zxid: zxid, payload: p}
 		s.log = append(s.log, e)
+		s.c.obs.LogAppend(s.id, int64(s.c.Sim.Now()), uint64(len(s.log)-1), zxid, trace.ID(p))
 		s.acks[zxid] = 0
 		s.broadcast(enc(mPropose, s.epoch, zxid, p))
 		if tr := s.c.Sim.Tracer(); tr != nil {
@@ -306,6 +318,14 @@ func (s *Server) handle(m []byte) {
 		s.node.Proc.Pause(s.c.cfg.FollowerOpCost)
 		e := entry{zxid: zxid, payload: append([]byte(nil), payload...)}
 		s.log = append(s.log, e)
+		// Track the log tail like every other append path. Without this,
+		// two things break: election votes report a stale position, and a
+		// straggler DIFF from an overlapping sync round (each probe vote
+		// triggers one) can re-append an entry this proposal already
+		// delivered — the DIFF's zxid > lastZxid dedup check is only sound
+		// while lastZxid tracks the tail.
+		s.lastZxid = zxid
+		s.c.obs.LogAppend(s.id, int64(s.c.Sim.Now()), uint64(len(s.log)-1), zxid, trace.ID(e.payload))
 		if len(payload) >= 8 {
 			s.seenIDs[abcast.MsgID(payload)] = true
 		}
@@ -379,6 +399,8 @@ func (s *Server) deliverUpTo(zxid uint64) {
 	for s.committed < len(s.log) && s.log[s.committed].zxid <= zxid {
 		e := s.log[s.committed]
 		s.committed++
+		s.c.obs.CommitAdvance(s.id, int64(s.c.Sim.Now()), uint64(s.committed))
+		s.c.obs.Deliver(s.id, int64(s.c.Sim.Now()), uint64(s.committed-1), trace.ID(e.payload))
 		if tr := s.c.Sim.Tracer(); tr != nil {
 			now := int64(s.c.Sim.Now())
 			if s.role == leading {
@@ -538,6 +560,7 @@ func (s *Server) onNewLeader(epoch uint32, leaderZxid uint64, payload []byte) {
 		}
 	}
 	s.log = s.log[:s.committed]
+	s.c.obs.LogTruncate(s.id, int64(s.c.Sim.Now()), uint64(s.committed))
 	if len(s.log) > 0 {
 		s.lastZxid = s.log[len(s.log)-1].zxid
 	} else {
@@ -580,6 +603,7 @@ func (s *Server) onSyncDiff(epoch uint32, payload []byte) {
 		pl := append([]byte(nil), payload[off+12:off+12+ln]...)
 		if zxid > s.lastZxid {
 			s.log = append(s.log, entry{zxid, pl})
+			s.c.obs.LogAppend(s.id, int64(s.c.Sim.Now()), uint64(len(s.log)-1), zxid, trace.ID(pl))
 			s.lastZxid = zxid
 			if len(pl) >= 8 {
 				s.seenIDs[abcast.MsgID(pl)] = true
