@@ -18,6 +18,8 @@
 //	chaos-bench -parallel 0              # one worker per core, same tables
 //	chaos-bench -observe                 # runtime invariant observers on
 //	chaos-bench -observe -json out.json  # machine-readable artifact
+//	chaos-bench -durability durable      # per-replica simulated disks
+//	chaos-bench -durability amnesia      # disks wiped at every crash
 package main
 
 import (
@@ -41,7 +43,15 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-run fired actions and unavailability windows")
 	observe := flag.Bool("observe", false, "run every system under the runtime invariant observers; any violation fails the run")
 	jsonPath := flag.String("json", "", "write a chaos artifact (bench-compare understands it) to this path")
+	durability := flag.String("durability", "", "storage model: empty = volatile, 'durable' = per-replica simulated disks, 'amnesia' = disks wiped at every crash (systems with no durable mode stay volatile)")
 	flag.Parse()
+
+	switch bench.Durability(*durability) {
+	case bench.Volatile, bench.Durable, bench.Amnesia:
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -durability %q (want '', 'durable', or 'amnesia')\n", *durability)
+		os.Exit(2)
+	}
 
 	kinds := bench.AllKinds
 	if *systems != "" {
@@ -53,6 +63,7 @@ func main() {
 
 	cfg := bench.DefaultChaos(*nodes, *seed)
 	cfg.Observe = *observe
+	cfg.Durability = bench.Durability(*durability)
 	if *short {
 		cfg.Horizon = 80 * time.Millisecond
 		cfg.Drain = 30 * time.Millisecond
@@ -63,8 +74,10 @@ func main() {
 		chaos.FlakyLink(0.3, 20*time.Microsecond, 10*time.Millisecond, 15*time.Millisecond),
 		chaos.RollingRestart(8*time.Millisecond, 25*time.Millisecond),
 		chaos.QuorumLossAndHeal(20*time.Millisecond, 30*time.Millisecond),
+		chaos.DiskStallStorm(3*time.Millisecond, 25*time.Millisecond),
+		chaos.TornWriteRestart(35*time.Millisecond, 10*time.Millisecond),
 	}
-	if *short {
+	if *short && *scenarios == "" {
 		all = all[:2] // the two acceptance scenarios
 	}
 	if *scenarios != "" {

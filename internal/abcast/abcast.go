@@ -51,17 +51,33 @@ type Checker struct {
 	broadcast map[uint64]bool
 	delivered [][]uint64 // per node, in delivery order
 	seen      []map[uint64]bool
+	pos       []map[uint64]int // per node, id -> index in delivered[node]
+	// replayNext is the per-node restart replay cursor: noReplay when the
+	// node has no open replay window, otherwise the delivered[node] index
+	// the next re-delivered message must retrace (replayStart before the
+	// first re-delivery fixes the starting position).
+	replayNext []int
 }
+
+// Restart replay cursor sentinels (see NodeRestart).
+const (
+	noReplay    = -2
+	replayStart = -1
+)
 
 // NewChecker creates a checker for n replicas.
 func NewChecker(n int) *Checker {
 	c := &Checker{
-		broadcast: make(map[uint64]bool),
-		delivered: make([][]uint64, n),
-		seen:      make([]map[uint64]bool, n),
+		broadcast:  make(map[uint64]bool),
+		delivered:  make([][]uint64, n),
+		seen:       make([]map[uint64]bool, n),
+		pos:        make([]map[uint64]int, n),
+		replayNext: make([]int, n),
 	}
 	for i := range c.seen {
 		c.seen[i] = make(map[uint64]bool)
+		c.pos[i] = make(map[uint64]int)
+		c.replayNext[i] = noReplay
 	}
 	return c
 }
@@ -69,17 +85,52 @@ func NewChecker(n int) *Checker {
 // OnBroadcast records that id was handed to the system by a client.
 func (c *Checker) OnBroadcast(id uint64) { c.broadcast[id] = true }
 
+// NodeRestart opens a replay window for node: a replica that recovers its
+// durable state after a crash legally re-applies (and therefore re-delivers)
+// a prefix it already delivered, which would otherwise read as a
+// No-Duplication violation. Inside the window, re-delivered messages must
+// contiguously retrace the node's recorded sequence starting at the first
+// re-delivered message's position; the window closes — and fresh messages
+// are accepted again — once the retrace reaches the end of the recorded
+// sequence, or on the first delivery if no replay happened at all.
+func (c *Checker) NodeRestart(node int) { c.replayNext[node] = replayStart }
+
 // OnDeliver records that replica node delivered id. It returns an error
 // immediately on an Integrity or No-Duplication violation so tests fail at
-// the offending event.
+// the offending event. Re-deliveries are tolerated only inside a restart
+// replay window (see NodeRestart) and only in recorded order.
 func (c *Checker) OnDeliver(node int, id uint64) error {
 	if !c.broadcast[id] {
 		return fmt.Errorf("integrity violated: node %d delivered %d which was never broadcast", node, id)
 	}
 	if c.seen[node][id] {
-		return fmt.Errorf("no-duplication violated: node %d delivered %d twice", node, id)
+		if c.replayNext[node] == noReplay {
+			return fmt.Errorf("no-duplication violated: node %d delivered %d twice", node, id)
+		}
+		p := c.pos[node][id]
+		if c.replayNext[node] == replayStart {
+			c.replayNext[node] = p
+		}
+		if p != c.replayNext[node] {
+			return fmt.Errorf("no-duplication violated: node %d re-delivered %d at position %d after restart, expected contiguous replay at position %d",
+				node, id, p, c.replayNext[node])
+		}
+		c.replayNext[node]++
+		if c.replayNext[node] == len(c.delivered[node]) {
+			c.replayNext[node] = noReplay // retrace complete
+		}
+		return nil
+	}
+	if c.replayNext[node] != noReplay {
+		if c.replayNext[node] != replayStart {
+			return fmt.Errorf("no-duplication violated: node %d delivered fresh message %d mid-replay (retrace at %d of %d)",
+				node, id, c.replayNext[node], len(c.delivered[node]))
+		}
+		// First post-restart delivery is already fresh: no replay occurred.
+		c.replayNext[node] = noReplay
 	}
 	c.seen[node][id] = true
+	c.pos[node][id] = len(c.delivered[node])
 	c.delivered[node] = append(c.delivered[node], id)
 	return nil
 }

@@ -39,6 +39,17 @@ type Observed interface {
 	ObserverDigest() (digest, checks uint64, violations int64)
 }
 
+// Durable is implemented by builders' return values (or wrappers around
+// them) that persist state to simulated disks (internal/disk). The replay
+// harness folds the durable-state digest into the run fingerprint: recovery
+// must be deterministic down to the bytes on every device — two same-seed
+// runs end with bit-identical durable store contents, restarts included.
+type Durable interface {
+	// DurableDigest folds every device's durable (fsynced) state into one
+	// digest (see disk.Device.Digest).
+	DurableDigest() uint64
+}
+
 // ReplayRun captures everything one seeded run observed that the determinism
 // invariant promises to reproduce.
 type ReplayRun struct {
@@ -57,6 +68,9 @@ type ReplayRun struct {
 	ObserveDigest     uint64
 	ObserveChecks     uint64
 	ObserveViolations int64
+	// DurableFP is the durable-disk-state digest when the built system
+	// implements Durable; zero otherwise.
+	DurableFP uint64
 }
 
 // replayReadyPolls bounds the pre-load warmup that waits for leader election,
@@ -99,6 +113,9 @@ func ReplayOnce(build SystemBuilder, replicas int, seed int64, cfg LoadConfig) (
 	if obs, ok := sys.(Observed); ok {
 		run.ObserveDigest, run.ObserveChecks, run.ObserveViolations = obs.ObserverDigest()
 	}
+	if d, ok := sys.(Durable); ok {
+		run.DurableFP = d.DurableDigest()
+	}
 	for node := 0; node < replicas; node++ {
 		seq := checker.Delivered(node)
 		run.Delivered = append(run.Delivered, append([]uint64(nil), seq...))
@@ -135,6 +152,7 @@ func (r *ReplayRun) Fingerprint() []byte {
 	put(r.ObserveDigest)
 	put(r.ObserveChecks)
 	put(uint64(r.ObserveViolations))
+	put(r.DurableFP)
 	return buf.Bytes()
 }
 
@@ -215,6 +233,10 @@ func diffRuns(a, b *ReplayRun, i int) error {
 	if a.ObserveDigest != b.ObserveDigest {
 		return fmt.Errorf("replay diverged: observer digest %016x in run 0 but %016x in run %d — same check count, different check operands (shadow-state drift)",
 			a.ObserveDigest, b.ObserveDigest, i)
+	}
+	if a.DurableFP != b.DurableFP {
+		return fmt.Errorf("replay diverged: durable disk digest %016x in run 0 but %016x in run %d — same deliveries, different bytes on disk (recovery or group-commit drift)",
+			a.DurableFP, b.DurableFP, i)
 	}
 	if !bytes.Equal(a.Fingerprint(), b.Fingerprint()) {
 		return fmt.Errorf("replay diverged: fingerprints differ between run 0 and run %d", i)

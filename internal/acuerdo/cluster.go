@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"acuerdo/internal/abcast"
+	"acuerdo/internal/disk"
 	"acuerdo/internal/observe"
 	"acuerdo/internal/rdma"
 	"acuerdo/internal/ringbuf"
@@ -155,9 +156,10 @@ func NewCluster(sim *simnet.Sim, fabric *rdma.Fabric, cfg ClusterConfig) *Cluste
 // registers its heartbeat cell for per-cell monotonicity. Only the
 // heartbeat (u64 at offset 12) registers — the commit header's Cnt field
 // legally resets at each epoch change, and the accept and vote SSTs carry
-// whole rows that legally regress across epochs. Replica memory survives
-// restarts (a rejoiner resumes from its committed header), so no restart
-// hook fires. Call before Start.
+// whole rows that legally regress across epochs. In volatile mode replica
+// memory survives restarts (a rejoiner resumes from its committed header),
+// so no restart hook fires; durable mode reports RecoverDone and
+// DurableFrontier around crash recovery. Call before Start.
 func (c *Cluster) SetObserver(o *observe.Observer) {
 	for _, r := range c.Replicas {
 		r.obs = o
@@ -173,6 +175,38 @@ func (c *Cluster) SetObserver(o *observe.Observer) {
 			o.SSTRow(tab, self, int64(c.Sim.Now()), row)
 		}
 	}
+}
+
+// SetDisks attaches one simulated disk per replica and switches the group
+// to durable mode (see Replica.SetDisk). Call before Start with exactly N
+// devices; nil keeps the legacy volatile model.
+func (c *Cluster) SetDisks(devs []*disk.Device) {
+	if devs == nil {
+		return
+	}
+	for i, r := range c.Replicas {
+		r.SetDisk(devs[i])
+	}
+}
+
+// DiskRecoveredBytes sums bytes read back from local WALs during crash
+// recovery across the group (durable mode only).
+func (c *Cluster) DiskRecoveredBytes() int64 {
+	var n int64
+	for _, r := range c.Replicas {
+		n += int64(r.Stats.DiskRecoveredBytes)
+	}
+	return n
+}
+
+// FabricRecoveryBytes sums diff payload bytes re-shipped over the fabric to
+// refill crash-lost state across the group (durable mode only).
+func (c *Cluster) FabricRecoveryBytes() int64 {
+	var n int64
+	for _, r := range c.Replicas {
+		n += int64(r.Stats.FabricRecoveryBytes)
+	}
+	return n
 }
 
 // Start boots every replica (they elect a first leader) and the client's

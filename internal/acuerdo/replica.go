@@ -3,6 +3,7 @@ package acuerdo
 import (
 	"time"
 
+	"acuerdo/internal/disk"
 	"acuerdo/internal/observe"
 	"acuerdo/internal/rdma"
 	"acuerdo/internal/ringbuf"
@@ -99,6 +100,12 @@ type Stats struct {
 	Delivered  uint64 // messages delivered to the application
 	Elections  uint64 // elections entered
 	SSTPushes  uint64 // acceptance pushes (for the ack-batching ablation)
+
+	// Durable-mode recovery accounting: bytes read back from the local WAL
+	// during crash recovery, and diff payload bytes re-shipped over the
+	// fabric to refill entries the crash lost.
+	DiskRecoveredBytes  uint64
+	FabricRecoveryBytes uint64
 }
 
 type sentRec struct {
@@ -148,6 +155,16 @@ type Replica struct {
 	sent     []sentRec
 	relPtr   []int
 	released []uint64
+
+	// Durable mode (SetDisk): committed entries stream to a background WAL
+	// in delivery order (walPos entries appended, flushes queued up to
+	// walQueued); recovering marks the window between a durable restart and
+	// the first diff, whose payload bytes count as fabric recovery traffic.
+	dev        *disk.Device
+	store      *disk.LogStore
+	walPos     uint64
+	walQueued  uint64
+	recovering bool
 
 	obs *observe.Observer
 
@@ -201,18 +218,123 @@ func (r *Replica) Stop() {
 	}
 }
 
-// Crash fails the node (crash-stop).
-func (r *Replica) Crash() { r.Node.Crash() }
+// acuerdoWALName is the per-replica committed-entry log device file.
+const acuerdoWALName = "acuerdo.wal"
 
-// Restart recovers a crashed or paused node into election mode with its
-// memory intact; it will rejoin the group when it receives a diff from a
-// newer epoch.
+// SetDisk attaches a simulated disk and switches the replica to durable
+// mode: committed entries stream to a background WAL (never on the commit
+// critical path — Acuerdo's latency story is unchanged) and Restart
+// recovers the committed prefix from the device instead of trusting
+// memory. Call before Start; nil keeps the legacy volatile model
+// (bit-identical to the pre-disk behavior).
+func (r *Replica) SetDisk(dev *disk.Device) {
+	if dev == nil {
+		return
+	}
+	r.dev = dev
+	r.store = disk.NewLogStore(dev, acuerdoWALName)
+}
+
+// Crash fails the node (crash-stop). In durable mode the device's volatile
+// write cache is dropped too (only fsynced bytes survive, modulo an armed
+// torn write).
+func (r *Replica) Crash() {
+	r.Node.Crash()
+	if r.dev != nil {
+		r.dev.Crash(r.Sim.Rand())
+	}
+}
+
+// Restart recovers a crashed or paused node into election mode; it will
+// rejoin the group when it receives a diff from a newer epoch. The
+// volatile/durable contract:
+//
+//   - Volatile mode (no SetDisk): this model treats the replica's memory —
+//     log, accepted and committed headers, epoch — as surviving the crash
+//     intact (the paper's replicas are memory-resident; a restart models a
+//     process pause, not a machine loss).
+//   - Durable mode (SetDisk): memory is authoritative for nothing. The
+//     committed prefix is rebuilt from the device's checksummed WAL (replay
+//     stops at the first torn or corrupt record) and re-delivered to the
+//     application; everything newer is refetched through the next epoch's
+//     diff.
 func (r *Replica) Restart() {
 	if r.Node.Crashed() {
 		r.Node.Recover()
 	}
 	r.role = Electing
+	if r.store != nil {
+		r.restartDurable()
+	}
 	r.Start()
+}
+
+// restartDurable rebuilds the replica from its device: recover the
+// committed prefix from the WAL, re-deliver it to the application, and
+// leave election to fetch the rest via the next diff.
+func (r *Replica) restartDurable() {
+	now := int64(r.Sim.Now())
+	// The durable path re-delivers from position zero: re-arm the
+	// observer's delivery and committed-header bases.
+	r.obs.NodeRestart(int(r.ID), now)
+	// Wipe the protocol state the durable contract says is lost. The
+	// heartbeat counter deliberately survives: it is a liveness signal, not
+	// protocol state, and keeping it monotone keeps the commit SST's
+	// per-cell invariant meaningful across restarts.
+	r.log = Log{}
+	r.accepted, r.committed, r.next = MsgHdr{}, MsgHdr{}, MsgHdr{}
+	r.eCur, r.eNew = Epoch{}, Epoch{}
+	r.count = 0
+	r.sent = nil
+	for j := range r.relPtr {
+		r.relPtr[j] = 0
+		r.released[j] = 0
+	}
+	// Forfeit our own vote: a pre-crash winning vote still sits in the
+	// local vote SST alongside the quorum that elected us, and counting
+	// that stale quorum would let the replica "win" an election it no
+	// longer remembers running — with an epoch that no longer matches the
+	// vote's. With a zero own-row the win check stays cold until the
+	// replica casts or joins a fresh vote.
+	r.voteSST.Set(Vote{})
+	r.lastMaxVote = Vote{}
+	r.voteChangedAt = r.Sim.Now()
+	// Reopen the WAL on the recovered device: the old handle's in-flight
+	// sync died with the crash (its completion callback was dropped by the
+	// device epoch bump), so a fresh store is required.
+	r.store = disk.NewLogStore(r.dev, acuerdoWALName)
+	rec := disk.RecoverLog(r.dev, acuerdoWALName)
+	r.Stats.DiskRecoveredBytes += uint64(rec.Bytes)
+	r.Node.Proc.Pause(r.dev.ReadCost(rec.Bytes))
+	// WAL records are committed entries in delivery order; replay them to
+	// the application and rebuild the log so the next diff splices cleanly.
+	n := uint64(0)
+	for _, re := range rec.Entries {
+		hdr, payload, _, _, isDiff, err := DecodeMessage(re.Data)
+		if err != nil || isDiff {
+			continue
+		}
+		pl := make([]byte, len(payload))
+		copy(pl, payload)
+		r.log.Insert(Entry{Hdr: hdr, Payload: pl})
+		r.accepted = hdr
+		r.committed = hdr
+		n++
+	}
+	r.walPos = n
+	r.walQueued = n
+	r.eCur = r.committed.E
+	r.eNew = r.committed.E
+	r.acceptSST.Set(r.accepted)
+	r.obs.RecoverDone(int(r.ID), now, uint64(r.log.Len()), n)
+	for _, e := range r.log.RangeClosed(MsgHdr{}, r.committed) {
+		r.obs.AcuerdoCommit(int(r.ID), now, e.Hdr.E.Round, uint32(e.Hdr.E.Ldr), e.Hdr.Cnt, trace.ID(e.Payload))
+		r.Stats.Delivered++
+		if r.OnDeliver != nil {
+			r.OnDeliver(e.Hdr, e.Payload)
+		}
+	}
+	r.recovering = true
 }
 
 // poll is one event-loop iteration: drain rings (accept), advance commits,
@@ -305,6 +427,14 @@ func (r *Replica) acceptDiff(hdr, diffFrom MsgHdr, entries []Entry) {
 	r.log.RemoveFrom(diffFrom)
 	for _, e := range entries {
 		r.log.Insert(e)
+	}
+	if r.recovering {
+		// First diff after a durable restart: its payload is the state the
+		// crash lost, re-shipped over the fabric.
+		for _, e := range entries {
+			r.Stats.FabricRecoveryBytes += uint64(len(e.Payload))
+		}
+		r.recovering = false
 	}
 	r.accepted = hdr
 	r.next = MsgHdr{E: r.eCur, Cnt: 0}
@@ -425,11 +555,19 @@ func (r *Replica) deliverEntry(e Entry) {
 	if r.OnDeliver != nil {
 		r.OnDeliver(e.Hdr, e.Payload)
 	}
+	if r.store != nil {
+		// Background durability: the append queues on the device and the
+		// next commit-row push flushes it. Never on the commit critical
+		// path — the client ack does not wait for the disk.
+		r.store.AppendEntry(r.walPos, 0, EncodeMessage(e.Hdr, e.Payload), nil)
+		r.walPos++
+	}
 }
 
 // pushCommitRow periodically publishes Committed plus a heartbeat to every
 // peer (Figure 6 lines 93-95). This is off the commit critical path for the
-// leader and doubles as the liveness signal for the failure detector.
+// leader and doubles as the liveness signal for the failure detector. In
+// durable mode the same cadence group-commits the WAL tail.
 func (r *Replica) pushCommitRow() {
 	now := r.Sim.Now()
 	if now.Sub(r.lastCommitPush) < r.Cfg.CommitPushInterval {
@@ -439,6 +577,15 @@ func (r *Replica) pushCommitRow() {
 	r.hb++
 	r.commitSST.Set(CommitRow{Hdr: r.committed, HB: r.hb})
 	r.commitSST.PushMine()
+	if r.store != nil && r.walPos > r.walQueued {
+		n := r.walPos
+		r.walQueued = n
+		r.store.Flush(func(err error) {
+			if err == nil {
+				r.obs.DurableFrontier(int(r.ID), int64(r.Sim.Now()), n)
+			}
+		})
+	}
 }
 
 // failureDetector suspects the leader when its commit row goes stale.

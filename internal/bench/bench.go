@@ -14,6 +14,7 @@ import (
 	"acuerdo/internal/acuerdo"
 	"acuerdo/internal/apus"
 	"acuerdo/internal/derecho"
+	"acuerdo/internal/disk"
 	"acuerdo/internal/observe"
 	"acuerdo/internal/paxos"
 	"acuerdo/internal/raft"
@@ -42,6 +43,31 @@ const (
 // AllKinds lists every system in the Figure 8 comparison.
 var AllKinds = []Kind{Acuerdo, DerechoAll, DerechoLeader, Etcd, Libpaxos, Zookeeper, Apus}
 
+// Durability selects the storage model an instance boots with.
+type Durability string
+
+// The three storage models of the durability comparison. Volatile is the
+// legacy in-memory model; Durable gives every replica a simulated disk it
+// recovers from after a crash; Amnesia gives the same disks but wipes the
+// victim's disk at every crash — the node rejoins with nothing and refetches
+// everything over the interconnect, the worst-case recovery-bytes baseline.
+const (
+	Volatile Durability = ""
+	Durable  Durability = "durable"
+	Amnesia  Durability = "amnesia"
+)
+
+// DurabilitySupported reports whether kind has a durable storage mode.
+// Derecho and APUS keep their paper-faithful volatile model: they are
+// comparison baselines whose recovery story the paper does not extend.
+func DurabilitySupported(kind Kind) bool {
+	switch kind {
+	case Acuerdo, Etcd, Libpaxos, Zookeeper:
+		return true
+	}
+	return false
+}
+
 // Instance is one booted system ready for load.
 type Instance struct {
 	Sim *simnet.Sim
@@ -63,6 +89,12 @@ type Instance struct {
 	Fabric *rdma.Fabric
 	Net    *tcpnet.Net
 
+	// Disks holds one simulated device per replica when the instance was
+	// built with Options.Durability != Volatile on a system that supports
+	// it (DurabilitySupported); nil otherwise. The chaos adapter drives its
+	// stall/torn/corrupt/full surface.
+	Disks []*disk.Device
+
 	// Per-system control closures behind the chaos.Target adapter: replica
 	// index -> interconnect node id / scheduler process, current leader,
 	// and the system's crash and recovery paths.
@@ -71,6 +103,40 @@ type Instance struct {
 	leaderIdx func() int
 	crash     func(i int)
 	restart   func(i int)
+
+	// Recovery accounting behind the durable mode; nil on volatile
+	// instances and on systems with no durable mode.
+	diskRecovered  func() int64
+	fabricRecovery func() int64
+}
+
+// DiskRecoveredBytes sums bytes read back from local disks during crash
+// recovery across the group; zero on volatile instances.
+func (inst *Instance) DiskRecoveredBytes() int64 {
+	if inst.diskRecovered == nil {
+		return 0
+	}
+	return inst.diskRecovered()
+}
+
+// FabricRecoveryBytes sums payload bytes re-shipped over the interconnect to
+// refill crash-lost state across the group; zero on volatile instances.
+func (inst *Instance) FabricRecoveryBytes() int64 {
+	if inst.fabricRecovery == nil {
+		return 0
+	}
+	return inst.fabricRecovery()
+}
+
+// DurableDigest folds every device's durable-content digest into one value:
+// two same-seed durable runs must match bit for bit. Zero on volatile
+// instances.
+func (inst *Instance) DurableDigest() uint64 {
+	var d uint64
+	for _, dev := range inst.Disks {
+		d = d*1099511628211 ^ dev.Digest()
+	}
+	return d
 }
 
 // Close returns the instance's pooled resources (registered RDMA regions)
@@ -100,6 +166,13 @@ type Options struct {
 	// instance then also satisfies abcast.Observed, which folds the
 	// observer digest into seed-replay fingerprints.
 	Observer *observe.Observer
+	// Durability selects the storage model (Volatile, Durable, Amnesia).
+	// Non-volatile modes give every replica a simulated disk on systems
+	// that support one (DurabilitySupported); unsupported systems silently
+	// stay volatile so cross-system sweeps can share one Options value.
+	Durability Durability
+	// DiskParams overrides the device model (nil = disk.DefaultParams).
+	DiskParams *disk.Params
 }
 
 // NewInstance builds, starts, and warms up (leader elected) one system.
@@ -124,6 +197,22 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 		sim.SetTracer(opt.Tracer)
 	}
 	inst := &Instance{Sim: sim, N: n}
+	// newDisks builds the per-replica devices for non-volatile modes; the
+	// caller attaches them only on systems with a durable path.
+	newDisks := func() []*disk.Device {
+		if opt.Durability == Volatile {
+			return nil
+		}
+		p := disk.DefaultParams()
+		if opt.DiskParams != nil {
+			p = *opt.DiskParams
+		}
+		devs := make([]*disk.Device, n)
+		for i := range devs {
+			devs[i] = disk.NewDevice(sim, i, p)
+		}
+		return devs
+	}
 	switch kind {
 	case Acuerdo:
 		fabric := rdma.NewFabric(sim, rdma.DefaultParams())
@@ -134,6 +223,12 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 		cfg.Desched = opt.Desched
 		c := acuerdo.NewCluster(sim, fabric, cfg)
 		c.SetObserver(opt.Observer)
+		if devs := newDisks(); devs != nil {
+			c.SetDisks(devs)
+			inst.Disks = devs
+			inst.diskRecovered = c.DiskRecoveredBytes
+			inst.fabricRecovery = c.FabricRecoveryBytes
+		}
 		c.Start()
 		inst.Sys = c
 		inst.AcuerdoCluster = c
@@ -191,6 +286,12 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 		net := tcpnet.New(sim, tcpnet.DefaultParams())
 		c := paxos.NewCluster(sim, net, paxos.DefaultConfig(n))
 		c.SetObserver(opt.Observer)
+		if devs := newDisks(); devs != nil {
+			c.SetDisks(devs)
+			inst.Disks = devs
+			inst.diskRecovered = func() int64 { return c.DiskRecoveredBytes }
+			inst.fabricRecovery = func() int64 { return c.FabricRecoveryBytes }
+		}
 		c.Start()
 		inst.Sys = c
 		inst.Net = net
@@ -208,6 +309,12 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 		net := tcpnet.New(sim, tcpnet.DefaultParams())
 		c := zab.NewCluster(sim, net, zab.DefaultConfig(n))
 		c.SetObserver(opt.Observer)
+		if devs := newDisks(); devs != nil {
+			c.SetDisks(devs)
+			inst.Disks = devs
+			inst.diskRecovered = func() int64 { return c.DiskRecoveredBytes }
+			inst.fabricRecovery = func() int64 { return c.FabricRecoveryBytes }
+		}
 		c.Start()
 		inst.Sys = c
 		inst.Net = net
@@ -225,6 +332,12 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 		net := tcpnet.New(sim, tcpnet.DefaultParams())
 		c := raft.NewCluster(sim, net, raft.DefaultConfig(n))
 		c.SetObserver(opt.Observer)
+		if devs := newDisks(); devs != nil {
+			c.SetDisks(devs)
+			inst.Disks = devs
+			inst.diskRecovered = func() int64 { return c.DiskRecoveredBytes }
+			inst.fabricRecovery = func() int64 { return c.FabricRecoveryBytes }
+		}
 		c.Start()
 		inst.Sys = c
 		inst.Net = net

@@ -84,6 +84,38 @@ func (t chaosTarget) SetLatencySpike(i, j int, d time.Duration) {
 	}
 }
 
+// DiskStall opens an fsync-stall window of d on replica i's disk; a no-op
+// on volatile instances.
+func (t chaosTarget) DiskStall(i int, d time.Duration) {
+	if t.inst.Disks != nil {
+		t.inst.Disks[i].StallFsync(d)
+	}
+}
+
+// DiskTorn arms a torn write on replica i's disk (bites at its next crash);
+// a no-op on volatile instances.
+func (t chaosTarget) DiskTorn(i int) {
+	if t.inst.Disks != nil {
+		t.inst.Disks[i].ArmTornWrite()
+	}
+}
+
+// DiskCorrupt flips one random durable bit on replica i's disk; a no-op on
+// volatile instances.
+func (t chaosTarget) DiskCorrupt(i int) {
+	if t.inst.Disks != nil {
+		t.inst.Disks[i].CorruptDurable(t.inst.Sim.Rand())
+	}
+}
+
+// DiskFull sets or clears the disk-full condition on replica i's disk; a
+// no-op on volatile instances.
+func (t chaosTarget) DiskFull(i int, on bool) {
+	if t.inst.Disks != nil {
+		t.inst.Disks[i].SetFull(on)
+	}
+}
+
 var _ chaos.Target = chaosTarget{}
 
 // ChaosConfig parameterizes one chaos run.
@@ -111,6 +143,10 @@ type ChaosConfig struct {
 	// catalog and violations land in the result. Off by default — the
 	// observers-off hot path stays hook-free (nil-receiver no-ops).
 	Observe bool
+	// Durability selects the storage model (Volatile, Durable, Amnesia).
+	// Systems with no durable mode run volatile regardless, so cross-system
+	// tables can share one configuration.
+	Durability Durability
 }
 
 // DefaultChaos returns the recovery benchmark's standard configuration.
@@ -164,6 +200,15 @@ type ChaosResult struct {
 	ViolationReports []string
 	ObserveDigest    uint64
 	ObserveChecks    uint64
+	// Durability echoes the run's storage model. DiskRecoveredBytes and
+	// FabricRecoveryBytes account how crashed state was refilled — from the
+	// local disk versus re-shipped over the interconnect (the amnesia
+	// baseline pays for everything in fabric bytes). DurableDigest folds
+	// every device's durable content; same-seed durable runs must match.
+	Durability          Durability
+	DiskRecoveredBytes  int64
+	FabricRecoveryBytes int64
+	DurableDigest       uint64
 }
 
 // MeanMTTR returns the average recovery time over recovered faults, and
@@ -202,7 +247,7 @@ func (r ChaosResult) MaxMTTR() time.Duration {
 func RunScenario(kind Kind, sc chaos.Scenario, cfg ChaosConfig) ChaosResult {
 	tracer := trace.New(1 << 14)
 	sim := simnet.New(cfg.Seed)
-	opt := Options{Tracer: tracer}
+	opt := Options{Tracer: tracer, Durability: cfg.Durability}
 	var obs *observe.Observer
 	if cfg.Observe {
 		obs = NewObserver(sim, kind, cfg.Nodes)
@@ -215,10 +260,33 @@ func RunScenario(kind Kind, sc chaos.Scenario, cfg ChaosConfig) ChaosResult {
 	if !inst.Sys.Ready() {
 		panic(fmt.Sprintf("chaos: %s/%d never became ready", kind, cfg.Nodes))
 	}
-	res := ChaosResult{Kind: kind, Plan: sc.Name}
+	res := ChaosResult{Kind: kind, Plan: sc.Name, Durability: cfg.Durability}
 
 	// Safety: every delivery at every replica feeds the shared checker.
 	checker := abcast.NewChecker(cfg.Nodes)
+	if inst.Disks != nil {
+		// Durable restarts replay the recovered prefix from position zero;
+		// the checker's replay window absorbs the retrace. Amnesia wipes the
+		// victim's disk at crash time — the node rejoins with nothing, the
+		// worst-case fabric-bytes baseline — and the observer is told the
+		// durable floor is gone so the lost frontier is not a violation.
+		baseRestart := inst.restart
+		inst.restart = func(i int) {
+			checker.NodeRestart(i)
+			baseRestart(i)
+		}
+		if cfg.Durability == Amnesia {
+			baseCrash := inst.crash
+			disks := inst.Disks
+			inst.crash = func(i int) {
+				baseCrash(i)
+				disks[i].Wipe()
+				if obs != nil {
+					obs.DiskFault(i, int64(sim.Now()))
+				}
+			}
+		}
+	}
 	inst.setApply(func(replica int, payload []byte) {
 		if len(payload) < 8 {
 			return
@@ -315,6 +383,9 @@ func RunScenario(kind Kind, sc chaos.Scenario, cfg ChaosConfig) ChaosResult {
 		res.ObserveDigest = obs.Digest()
 		res.ObserveChecks = obs.Checks()
 	}
+	res.DiskRecoveredBytes = inst.DiskRecoveredBytes()
+	res.FabricRecoveryBytes = inst.FabricRecoveryBytes()
+	res.DurableDigest = inst.DurableDigest()
 	res.Fingerprint = tracer.Fingerprint()
 	return res
 }
@@ -345,7 +416,7 @@ func RunScenarioAllParallel(sc chaos.Scenario, cfg ChaosConfig, kinds []Kind, wo
 // run wedged (watchdog) or violated safety.
 func PrintRecoveryTable(w io.Writer, results []ChaosResult) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "system\tscenario\tacks\tfaults\trecovered\tmttr-mean\tmttr-max\tunavail\twedged\tsafety\tinvariants\tfingerprint\n")
+	fmt.Fprintf(tw, "system\tscenario\tmode\tacks\tfaults\trecovered\tmttr-mean\tmttr-max\tunavail\tdisk-rec\tnet-rec\twedged\tsafety\tinvariants\tfingerprint\n")
 	for _, r := range results {
 		mean, n := r.MeanMTTR()
 		measured := len(r.Recoveries)
@@ -365,9 +436,14 @@ func PrintRecoveryTable(w io.Writer, results []ChaosResult) {
 				inv = fmt.Sprintf("%d VIOLATIONS", r.Violations)
 			}
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d/%d\t%.3fms\t%.3fms\t%.2fms\t%s\t%s\t%s\t%016x\n",
-			r.Kind, r.Plan, r.Acks, len(r.Fired), n, measured,
+		mode := string(r.Durability)
+		if mode == "" {
+			mode = "volatile"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\t%d/%d\t%.3fms\t%.3fms\t%.2fms\t%dB\t%dB\t%s\t%s\t%s\t%016x\n",
+			r.Kind, r.Plan, mode, r.Acks, len(r.Fired), n, measured,
 			float64(mean)/1e6, float64(r.MaxMTTR())/1e6, float64(r.Unavail)/1e6,
+			r.DiskRecoveredBytes, r.FabricRecoveryBytes,
 			wedged, safety, inv, r.Fingerprint)
 	}
 	tw.Flush()

@@ -62,6 +62,21 @@ func TestChaosJSONRoundTrip(t *testing.T) {
 		t.Fatal("CompareChaosBaseline accepted a drifted violation count")
 	}
 	back.Points[0].Violations = 0
+	back.Points[0].DurableDigest = "ffffffffffffffff"
+	if err := CompareChaosBaseline(back, f, -1); err == nil {
+		t.Fatal("CompareChaosBaseline accepted a drifted durable device digest")
+	}
+	back.Points[0].DurableDigest = f.Points[0].DurableDigest
+	back.Points[0].DiskRecoveredBytes += 64
+	if err := CompareChaosBaseline(back, f, -1); err == nil {
+		t.Fatal("CompareChaosBaseline accepted drifted recovery-byte accounting")
+	}
+	back.Points[0].DiskRecoveredBytes -= 64
+	back.Points[0].Durability = "amnesia"
+	if err := CompareChaosBaseline(back, f, -1); err == nil {
+		t.Fatal("CompareChaosBaseline accepted a drifted durability mode")
+	}
+	back.Points[0].Durability = f.Points[0].Durability
 
 	// Wall-clock regression beyond tolerance must fail; negative tolerance
 	// must skip the check.

@@ -178,6 +178,14 @@ type ChaosPointJSON struct {
 	ViolationReports []string `json:"violation_reports,omitempty"`
 	ObserveChecks    uint64   `json:"observe_checks,omitempty"`
 	ObserveDigest    string   `json:"observe_digest,omitempty"`
+	// Durability names the storage model ("durable", "amnesia"; absent =
+	// volatile). DiskRecoveredBytes and FabricRecoveryBytes split how
+	// crash-lost state was refilled; DurableDigest is the folded device
+	// digest (deterministic per seed) as 16 hex digits.
+	Durability          string `json:"durability,omitempty"`
+	DiskRecoveredBytes  int64  `json:"disk_recovered_bytes,omitempty"`
+	FabricRecoveryBytes int64  `json:"fabric_recovery_bytes,omitempty"`
+	DurableDigest       string `json:"durable_digest,omitempty"`
 }
 
 // ChaosFileJSON is a whole chaos-lane artifact: every (system, scenario)
@@ -230,6 +238,12 @@ func (f *ChaosFileJSON) Add(cfg ChaosConfig, results []ChaosResult) {
 		}
 		if r.ObserveChecks > 0 {
 			p.ObserveDigest = fmt.Sprintf("%016x", r.ObserveDigest)
+		}
+		if r.Durability != Volatile {
+			p.Durability = string(r.Durability)
+			p.DiskRecoveredBytes = r.DiskRecoveredBytes
+			p.FabricRecoveryBytes = r.FabricRecoveryBytes
+			p.DurableDigest = fmt.Sprintf("%016x", r.DurableDigest)
 		}
 		f.Points = append(f.Points, p)
 	}
@@ -329,6 +343,17 @@ func CompareChaosBaseline(cur, base *ChaosFileJSON, wallTol float64) error {
 				return fmt.Errorf("chaos: %s: observer digest %s, baseline %s — same check count, different operands (shadow-state drift)",
 					id, c.ObserveDigest, b.ObserveDigest)
 			}
+		}
+		if c.Durability != b.Durability {
+			return fmt.Errorf("chaos: %s: durability %q, baseline %q", id, c.Durability, b.Durability)
+		}
+		if c.DiskRecoveredBytes != b.DiskRecoveredBytes || c.FabricRecoveryBytes != b.FabricRecoveryBytes {
+			return fmt.Errorf("chaos: %s: recovery bytes disk/net %d/%d, baseline %d/%d",
+				id, c.DiskRecoveredBytes, c.FabricRecoveryBytes, b.DiskRecoveredBytes, b.FabricRecoveryBytes)
+		}
+		if c.DurableDigest != b.DurableDigest {
+			return fmt.Errorf("chaos: %s: durable device digest %s, baseline %s — the simulated disks diverged",
+				id, c.DurableDigest, b.DurableDigest)
 		}
 	}
 	if wallTol >= 0 && base.WallNS > 0 {

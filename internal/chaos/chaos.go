@@ -47,18 +47,40 @@ const (
 	// ALatency sets a latency spike of Dur on both directions of
 	// From-To (Dur <= 0 clears the spike).
 	ALatency
+	// ADiskStall opens an fsync-stall window of Dur on Node's disk:
+	// flushes issued during the window complete only after it closes
+	// (a slow or write-cache-saturated device). No-op on volatile
+	// targets.
+	ADiskStall
+	// ADiskTorn arms a torn write on Node's disk: the node's next crash
+	// leaves a partial last record that recovery must detect by
+	// checksum and discard. No-op on volatile targets.
+	ADiskTorn
+	// ADiskCorrupt flips one random bit in the durable region of
+	// Node's disk — silent media corruption caught only by a checksum
+	// verify during recovery. Fires even while the node is down (bit
+	// rot does not wait for reboots). No-op on volatile targets.
+	ADiskCorrupt
+	// ADiskFull sets (Prob > 0) or clears (Prob <= 0) the disk-full
+	// condition on Node's disk: appends fail at sync time until
+	// cleared. No-op on volatile targets.
+	ADiskFull
 )
 
 var actionNames = map[ActionKind]string{
-	ACrash:      "crash",
-	ARecover:    "recover",
-	APause:      "pause",
-	ACut:        "cut",
-	AHeal:       "heal",
-	ACutOneWay:  "cut-oneway",
-	AHealOneWay: "heal-oneway",
-	ALoss:       "loss",
-	ALatency:    "latency",
+	ACrash:       "crash",
+	ARecover:     "recover",
+	APause:       "pause",
+	ACut:         "cut",
+	AHeal:        "heal",
+	ACutOneWay:   "cut-oneway",
+	AHealOneWay:  "heal-oneway",
+	ALoss:        "loss",
+	ALatency:     "latency",
+	ADiskStall:   "disk-stall",
+	ADiskTorn:    "disk-torn",
+	ADiskCorrupt: "disk-corrupt",
+	ADiskFull:    "disk-full",
 }
 
 // String returns the action kind's stable name.
@@ -96,10 +118,16 @@ type Action struct {
 // String renders the action compactly for reports and diagnostics.
 func (a Action) String() string {
 	switch a.Kind {
-	case ACrash, ARecover:
+	case ACrash, ARecover, ADiskTorn, ADiskCorrupt:
 		return fmt.Sprintf("%v %s n%d", a.At, a.Kind, a.Node)
-	case APause:
+	case APause, ADiskStall:
 		return fmt.Sprintf("%v %s n%d %v", a.At, a.Kind, a.Node, a.Dur)
+	case ADiskFull:
+		state := "clear"
+		if a.Prob > 0 {
+			state = "on"
+		}
+		return fmt.Sprintf("%v %s n%d %s", a.At, a.Kind, a.Node, state)
 	case ALoss:
 		return fmt.Sprintf("%v %s %d-%d p=%.2f", a.At, a.Kind, a.From, a.To, a.Prob)
 	case ALatency:
@@ -116,11 +144,14 @@ func (a Action) Disruptive() bool {
 	switch a.Kind {
 	case ACrash, APause, ACut, ACutOneWay:
 		return true
-	case ALoss:
+	case ALoss, ADiskFull:
 		return a.Prob > 0
-	case ALatency:
+	case ALatency, ADiskStall:
 		return a.Dur > 0
 	}
+	// ADiskTorn and ADiskCorrupt are latent faults: they only bite at the
+	// next crash/recovery, so the availability probe attributes the outage
+	// to the crash, not to them.
 	return false
 }
 
@@ -155,6 +186,18 @@ type Target interface {
 	// SetLatencySpike installs/clears a latency spike on both
 	// directions of i-j.
 	SetLatencySpike(i, j int, d time.Duration)
+	// DiskStall opens an fsync-stall window of d on replica i's disk;
+	// a no-op for volatile targets.
+	DiskStall(i int, d time.Duration)
+	// DiskTorn arms a torn write on replica i's disk (bites at its
+	// next crash); a no-op for volatile targets.
+	DiskTorn(i int)
+	// DiskCorrupt flips one durable bit on replica i's disk; a no-op
+	// for volatile targets.
+	DiskCorrupt(i int)
+	// DiskFull sets or clears the disk-full condition on replica i's
+	// disk; a no-op for volatile targets.
+	DiskFull(i int, on bool)
 }
 
 // Fired records one action the engine applied, with its sentinel resolved.
@@ -255,6 +298,28 @@ func (e *Engine) apply(a Action) {
 		e.target.SetLoss(a.From, a.To, a.Prob)
 	case ALatency:
 		e.target.SetLatencySpike(a.From, a.To, a.Dur)
+	case ADiskStall:
+		// Disk faults apply even to down nodes — the device outlives the
+		// process, and media faults do not wait for reboots.
+		if node < 0 {
+			break
+		}
+		e.target.DiskStall(node, a.Dur)
+	case ADiskTorn:
+		if node < 0 {
+			break
+		}
+		e.target.DiskTorn(node)
+	case ADiskCorrupt:
+		if node < 0 {
+			break
+		}
+		e.target.DiskCorrupt(node)
+	case ADiskFull:
+		if node < 0 {
+			break
+		}
+		e.target.DiskFull(node, a.Prob > 0)
 	}
 	e.fired = append(e.fired, Fired{At: e.sim.Now(), Action: a, Node: node})
 }

@@ -38,6 +38,14 @@ func (t *fakeTarget) SetLoss(i, j int, p float64) {
 func (t *fakeTarget) SetLatencySpike(i, j int, d time.Duration) {
 	t.calls = append(t.calls, fmt.Sprintf("spike %d-%d %v", i, j, d))
 }
+func (t *fakeTarget) DiskStall(i int, d time.Duration) {
+	t.calls = append(t.calls, fmt.Sprintf("disk-stall %d %v", i, d))
+}
+func (t *fakeTarget) DiskTorn(i int)    { t.calls = append(t.calls, fmt.Sprintf("disk-torn %d", i)) }
+func (t *fakeTarget) DiskCorrupt(i int) { t.calls = append(t.calls, fmt.Sprintf("disk-corrupt %d", i)) }
+func (t *fakeTarget) DiskFull(i int, on bool) {
+	t.calls = append(t.calls, fmt.Sprintf("disk-full %d %v", i, on))
+}
 
 // The engine fires actions in plan order at the scheduled times, resolves
 // the Leader and LastCrashed sentinels at fire time, and refuses to crash
@@ -54,18 +62,24 @@ func TestEngineDispatchAndSentinels(t *testing.T) {
 		{At: 5 * time.Millisecond, Kind: ALoss, From: 0, To: 2, Prob: 0.5},
 		{At: 6 * time.Millisecond, Kind: ALatency, From: 0, To: 1, Dur: time.Millisecond},
 		{At: 7 * time.Millisecond, Kind: AHealOneWay, From: 1, To: 2},
+		{At: 8 * time.Millisecond, Kind: ADiskStall, Node: 2, Dur: time.Millisecond},
+		{At: 8 * time.Millisecond, Kind: ADiskTorn, Node: Leader},
+		{At: 8 * time.Millisecond, Kind: ADiskCorrupt, Node: 0},
+		{At: 9 * time.Millisecond, Kind: ADiskFull, Node: 2, Prob: 1},
+		{At: 9 * time.Millisecond, Kind: ADiskFull, Node: 2},
 	}})
 	sim.RunFor(10 * time.Millisecond)
 
 	want := []string{
 		"crash 0", "restart 0", "cut 1>2", "loss 0-2 0.5", "spike 0-1 1ms", "heal 1>2",
+		"disk-stall 2 1ms", "disk-torn 1", "disk-corrupt 0", "disk-full 2 true", "disk-full 2 false",
 	}
 	if !reflect.DeepEqual(tgt.calls, want) {
 		t.Fatalf("calls = %v, want %v", tgt.calls, want)
 	}
 	fired := eng.Fired()
-	if len(fired) != 7 {
-		t.Fatalf("fired %d actions, want 7", len(fired))
+	if len(fired) != 12 {
+		t.Fatalf("fired %d actions, want 12", len(fired))
 	}
 	if fired[0].Node != 0 {
 		t.Fatalf("leader sentinel resolved to %d, want 0", fired[0].Node)
@@ -89,6 +103,8 @@ func TestScenarioDeterminism(t *testing.T) {
 		FlakyLink(0.3, 200*time.Microsecond, 5*time.Millisecond, 10*time.Millisecond),
 		RollingRestart(5*time.Millisecond, 10*time.Millisecond),
 		QuorumLossAndHeal(10*time.Millisecond, 20*time.Millisecond),
+		DiskStallStorm(5*time.Millisecond, 20*time.Millisecond),
+		TornWriteRestart(30*time.Millisecond, 10*time.Millisecond),
 	}
 	for _, s := range scens {
 		a := s.Build(rand.New(rand.NewSource(42)), 5, 100*time.Millisecond)
@@ -109,6 +125,32 @@ func TestScenarioDeterminism(t *testing.T) {
 	b := f.Build(rand.New(rand.NewSource(2)), 5, 200*time.Millisecond)
 	if reflect.DeepEqual(a, b) {
 		t.Fatal("flaky-link: different seeds produced identical link choices")
+	}
+}
+
+// TornWriteRestart must arm the torn write strictly before the same-instant
+// crash in plan order, or the crash tears nothing.
+func TestTornWriteRestartOrdering(t *testing.T) {
+	p := TornWriteRestart(30*time.Millisecond, 10*time.Millisecond).
+		Build(rand.New(rand.NewSource(1)), 3, 100*time.Millisecond)
+	for i := 0; i+1 < len(p.Actions); i++ {
+		if p.Actions[i].Kind == ADiskTorn {
+			next := p.Actions[i+1]
+			if next.Kind != ACrash || next.At != p.Actions[i].At {
+				t.Fatalf("torn arm at %v not immediately followed by a same-instant crash: %s", p.Actions[i].At, next)
+			}
+		}
+	}
+	// The engine honors that ordering at the same timestamp.
+	sim := simnet.New(1)
+	tgt := &fakeTarget{n: 3, leader: 0}
+	eng := NewEngine(sim, tgt)
+	eng.Schedule(sim.Now(), p)
+	sim.RunFor(200 * time.Millisecond)
+	for i, call := range tgt.calls {
+		if call == "disk-torn 0" && (i+1 >= len(tgt.calls) || tgt.calls[i+1] != "crash 0") {
+			t.Fatalf("torn arm not immediately followed by the crash: %v", tgt.calls)
+		}
 	}
 }
 

@@ -114,12 +114,60 @@ func QuorumLossAndHeal(at, healAfter time.Duration) Scenario {
 	}
 }
 
+// DiskStallStorm opens an fsync-stall window of stallFor on whoever leads
+// at each strike, strikes interval apart until the horizon. On a durable
+// system this is the paper's slow-disk tail scenario: commits that wait on
+// the leader's fsync stall with it, while protocols that sync off the
+// critical path ride through. Volatile targets no-op every strike, making
+// the storm a free baseline.
+func DiskStallStorm(stallFor, interval time.Duration) Scenario {
+	return Scenario{
+		Name: "disk-stall-storm",
+		Build: func(rng *rand.Rand, n int, horizon time.Duration) Plan {
+			var p Plan
+			p.Name = "disk-stall-storm"
+			for at := interval; at+stallFor < horizon; at += interval {
+				p.Actions = append(p.Actions,
+					Action{At: at, Kind: ADiskStall, Node: Leader, Dur: stallFor},
+				)
+			}
+			return p
+		},
+	}
+}
+
+// TornWriteRestart arms a torn write on whoever leads at each strike and
+// crashes it in the same instant — the power-cut-mid-write fault — then
+// restarts the victim downFor later, strikes interval apart. Recovery must
+// detect the partial last record by checksum, discard it, and refill the
+// lost tail over the fabric; a system that trusts the torn bytes corrupts
+// its log and the safety checker catches it.
+func TornWriteRestart(interval, downFor time.Duration) Scenario {
+	return Scenario{
+		Name: "torn-write-restart",
+		Build: func(rng *rand.Rand, n int, horizon time.Duration) Plan {
+			var p Plan
+			p.Name = "torn-write-restart"
+			for at := interval; at+downFor < horizon; at += interval {
+				p.Actions = append(p.Actions,
+					// Same timestamp: the engine fires plan-order, so the
+					// arm lands just before the crash tears the write.
+					Action{At: at, Kind: ADiskTorn, Node: Leader},
+					Action{At: at, Kind: ACrash, Node: Leader},
+					Action{At: at + downFor, Kind: ARecover, Node: LastCrashed},
+				)
+			}
+			return p
+		},
+	}
+}
+
 // Validate sanity-checks a plan against a replica count: indices in
 // range, no link action on a self-link, probabilities in [0, 1].
 func (p Plan) Validate(n int) error {
 	for i, a := range p.Actions {
 		switch a.Kind {
-		case ACrash, ARecover, APause:
+		case ACrash, ARecover, APause, ADiskStall, ADiskTorn, ADiskCorrupt, ADiskFull:
 			if a.Node >= n || (a.Node < 0 && a.Node != Leader && a.Node != LastCrashed) {
 				return fmt.Errorf("plan %s action %d (%s): node %d out of range", p.Name, i, a, a.Node)
 			}

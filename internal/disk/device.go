@@ -1,0 +1,454 @@
+// Package disk is the deterministic simulated-storage subsystem: a per-node
+// NVMe-like Device on the simnet clock (configurable write/fsync/read
+// latency, volatile page cache vs. fsynced durable prefix, crash semantics
+// that drop un-fsynced bytes), a checksummed group-commit write-ahead log
+// (WAL, LogStore), and snapshot files with temp-then-atomic-rename
+// semantics. The protocol packages layer their durable log/ballot/vote
+// state on it; internal/chaos injects its disk faults (fsync stalls, torn
+// last records, bit-flip corruption, full disk) through the fault surface
+// here.
+//
+// Everything is driven by simnet events and the simulator's seeded RNG, so
+// disk-backed runs replay bit for bit from a seed like every other layer.
+package disk
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"time"
+
+	"acuerdo/internal/simnet"
+	"acuerdo/internal/trace"
+)
+
+// ErrNoSpace is returned by writes to a full device (capacity exhausted or
+// the full-disk fault armed).
+var ErrNoSpace = errors.New("disk: no space left on device")
+
+// Params models one device's service times. The defaults approximate a
+// datacenter NVMe drive: sub-microsecond buffered writes, ~10 us flushes.
+type Params struct {
+	// WriteLatency is the fixed cost of one buffered (page-cache) write.
+	WriteLatency time.Duration
+	// WriteBytePer is the additional per-byte cost of a buffered write.
+	WriteBytePer time.Duration
+	// FsyncLatency is the fixed cost of one flush.
+	FsyncLatency time.Duration
+	// FsyncBytePer is the additional per-byte cost of flushing dirty bytes.
+	FsyncBytePer time.Duration
+	// ReadLatency is the fixed cost of opening a file for recovery reads.
+	ReadLatency time.Duration
+	// ReadBytePer is the additional per-byte cost of a recovery read.
+	ReadBytePer time.Duration
+	// Capacity bounds the device's total bytes; zero means unlimited.
+	Capacity int
+}
+
+// DefaultParams returns the standard NVMe-like device model.
+func DefaultParams() Params {
+	return Params{
+		WriteLatency: 300 * time.Nanosecond,
+		WriteBytePer: 0, // page-cache writes are memcpy-speed; the fixed cost dominates
+		FsyncLatency: 10 * time.Microsecond,
+		FsyncBytePer: time.Nanosecond,
+		ReadLatency:  5 * time.Microsecond,
+		ReadBytePer:  time.Nanosecond,
+	}
+}
+
+// file is one named byte stream on a device. Bytes below synced survive a
+// crash; the tail [synced, len(data)) is the volatile page cache.
+type file struct {
+	data   []byte
+	synced int
+}
+
+// Stats counts a device's lifetime activity; the recovery benchmark reports
+// WriteBytes/FsyncBytes and the bytes recovered through RecoverLog.
+type Stats struct {
+	// Writes and WriteBytes count buffered write calls and their payloads.
+	Writes     int64
+	WriteBytes int64
+	// Fsyncs and FsyncBytes count completed flushes and the bytes they made
+	// durable.
+	Fsyncs     int64
+	FsyncBytes int64
+	// Crashes counts Crash calls; TornCrashes those that left a torn tail.
+	Crashes     int64
+	TornCrashes int64
+	// Faults counts applied fault-surface calls (stall/torn-arm/corrupt/full).
+	Faults int64
+}
+
+// Fault identifiers for the KDiskFault trace event's A operand.
+const (
+	faultStall = iota
+	faultTornArm
+	faultCorrupt
+	faultFull
+)
+
+// Device is one node's simulated disk. All methods must be called from
+// inside the simulation; completion callbacks run as simnet events. A
+// Device is not safe for use from multiple host goroutines (the simulator
+// is single-threaded by design).
+type Device struct {
+	sim    *simnet.Sim
+	node   int
+	params Params
+
+	files map[string]*file
+	used  int
+
+	// epoch guards completion callbacks: Crash increments it and every
+	// pending write/fsync completion belonging to the old epoch is dropped,
+	// exactly like simnet.Proc's crash semantics.
+	epoch uint64
+
+	// fsync machinery: one flush in flight at a time, FIFO queue behind it.
+	syncBusy   bool
+	syncQueue  []syncReq
+	stallUntil simnet.Time
+
+	// fault state
+	tornArmed bool
+	full      bool
+
+	stats Stats
+}
+
+type syncReq struct {
+	name string
+	done func(error)
+}
+
+// NewDevice creates an empty device owned by node (the replica index used
+// in trace events) on sim's clock.
+func NewDevice(sim *simnet.Sim, node int, params Params) *Device {
+	return &Device{
+		sim:    sim,
+		node:   node,
+		params: params,
+		files:  make(map[string]*file),
+	}
+}
+
+// Node returns the owning replica index.
+func (d *Device) Node() int { return d.node }
+
+// Stats returns the device's activity counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// names returns the file names in sorted order (map iteration order must
+// never leak into simulation state).
+func (d *Device) names() []string {
+	out := make([]string, 0, len(d.files))
+	for name := range d.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (d *Device) get(name string) *file {
+	f := d.files[name]
+	if f == nil {
+		f = &file{}
+		d.files[name] = f
+	}
+	return f
+}
+
+// Append buffers p at the end of name (creating it if needed) and runs done
+// with nil after the write latency. If the device is full it returns
+// ErrNoSpace synchronously, buffers nothing, and never calls done. The
+// buffered bytes are volatile until a Sync covering them completes. done
+// may be nil.
+func (d *Device) Append(name string, p []byte, done func(error)) error {
+	if d.full || (d.params.Capacity > 0 && d.used+len(p) > d.params.Capacity) {
+		return ErrNoSpace
+	}
+	f := d.get(name)
+	f.data = append(f.data, p...)
+	d.used += len(p)
+	d.stats.Writes++
+	d.stats.WriteBytes += int64(len(p))
+	if tr := d.sim.Tracer(); tr != nil {
+		tr.Instant(trace.KDiskWrite, d.node, int64(d.sim.Now()), int64(len(p)), int64(d.node))
+		tr.Add(trace.CtrDiskWrites, 1)
+		tr.Add(trace.CtrDiskWriteBytes, int64(len(p)))
+	}
+	cost := d.params.WriteLatency + time.Duration(len(p))*d.params.WriteBytePer
+	d.complete(cost, done, nil)
+	return nil
+}
+
+// Complete schedules done(err) after cost of simulated time, dropping it if
+// the device crashes first. It lets layered stores surface synchronous
+// errors (ErrNoSpace) through their usual asynchronous callback path.
+func (d *Device) Complete(cost time.Duration, done func(error), err error) {
+	d.complete(cost, done, err)
+}
+
+// Sync schedules an fsync of name: when it completes, every byte buffered
+// in name at the time Sync was called is durable. Flushes are serialized
+// per device (FIFO); an armed fsync-stall window delays the head of the
+// queue until the window closes. done may be nil.
+func (d *Device) Sync(name string, done func(error)) {
+	d.syncQueue = append(d.syncQueue, syncReq{name: name, done: done})
+	if !d.syncBusy {
+		d.syncBusy = true
+		d.startSync()
+	}
+}
+
+// startSync issues the flush at the head of the queue.
+func (d *Device) startSync() {
+	req := d.syncQueue[0]
+	f := d.get(req.name)
+	upTo := len(f.data)
+	dirty := upTo - f.synced
+	if dirty < 0 {
+		dirty = 0
+	}
+	start := d.sim.Now()
+	if d.stallUntil > start {
+		start = d.stallUntil
+	}
+	doneAt := start.Add(d.params.FsyncLatency + time.Duration(dirty)*d.params.FsyncBytePer)
+	epoch := d.epoch
+	d.sim.PostAfter(doneAt.Sub(d.sim.Now()), func() {
+		if d.epoch != epoch {
+			return // crashed meanwhile; queue was discarded
+		}
+		if f2, ok := d.files[req.name]; ok && upTo > f2.synced {
+			f2.synced = upTo
+		}
+		d.stats.Fsyncs++
+		d.stats.FsyncBytes += int64(dirty)
+		if tr := d.sim.Tracer(); tr != nil {
+			tr.Instant(trace.KDiskFsync, d.node, int64(d.sim.Now()), int64(dirty), int64(d.node))
+			tr.Add(trace.CtrDiskFsyncs, 1)
+			tr.Add(trace.CtrDiskFsyncBytes, int64(dirty))
+		}
+		d.syncQueue = d.syncQueue[1:]
+		if req.done != nil {
+			req.done(nil)
+		}
+		if len(d.syncQueue) > 0 {
+			d.startSync()
+		} else {
+			d.syncBusy = false
+		}
+	})
+}
+
+// complete schedules done(err) after cost; a crash in between drops it.
+func (d *Device) complete(cost time.Duration, done func(error), err error) {
+	if done == nil {
+		return
+	}
+	epoch := d.epoch
+	d.sim.PostAfter(cost, func() {
+		if d.epoch == epoch {
+			done(err)
+		}
+	})
+}
+
+// Rename atomically replaces newName with oldName's content and removes
+// oldName. The rename itself is modeled as an immediately durable metadata
+// journal entry (as on any journaling filesystem): after Rename returns,
+// a crash observes the new name bound to oldName's durable prefix and the
+// old snapshot gone. Renaming a missing file is a no-op.
+func (d *Device) Rename(oldName, newName string) {
+	f, ok := d.files[oldName]
+	if !ok {
+		return
+	}
+	if prev, ok := d.files[newName]; ok {
+		d.used -= len(prev.data)
+	}
+	delete(d.files, oldName)
+	d.files[newName] = f
+}
+
+// Remove deletes name (no-op when missing).
+func (d *Device) Remove(name string) {
+	if f, ok := d.files[name]; ok {
+		d.used -= len(f.data)
+		delete(d.files, name)
+	}
+}
+
+// Truncate resets name to empty (creating it if needed). The truncation is
+// modeled as immediately durable metadata, like Rename.
+func (d *Device) Truncate(name string) {
+	f := d.get(name)
+	d.used -= len(f.data)
+	f.data = nil
+	f.synced = 0
+}
+
+// Durable returns a copy of name's durable prefix — the bytes that survive
+// a crash right now. Recovery paths read this and charge ReadCost.
+func (d *Device) Durable(name string) []byte {
+	f, ok := d.files[name]
+	if !ok {
+		return nil
+	}
+	out := make([]byte, f.synced)
+	copy(out, f.data[:f.synced])
+	return out
+}
+
+// Size returns name's total buffered length and its durable prefix length.
+func (d *Device) Size(name string) (total, durable int) {
+	f, ok := d.files[name]
+	if !ok {
+		return 0, 0
+	}
+	return len(f.data), f.synced
+}
+
+// ReadCost returns the simulated time a recovery read of n bytes takes;
+// callers charge it to their process (Pause) or clock (PostAfter).
+func (d *Device) ReadCost(n int) time.Duration {
+	return d.params.ReadLatency + time.Duration(n)*d.params.ReadBytePer
+}
+
+// Crash models a power loss: every pending completion is dropped, the sync
+// queue is discarded, and each file loses its volatile tail. If a
+// torn-write fault is armed, each file with a volatile tail instead keeps a
+// random partial prefix of that tail — the torn last record a checksummed
+// WAL replay must detect and discard.
+func (d *Device) Crash(rng *rand.Rand) {
+	d.epoch++
+	d.syncBusy = false
+	d.syncQueue = nil
+	d.stats.Crashes++
+	torn := d.tornArmed
+	d.tornArmed = false
+	if torn {
+		d.stats.TornCrashes++
+	}
+	for _, name := range d.names() {
+		f := d.files[name]
+		keep := f.synced
+		if tail := len(f.data) - f.synced; torn && tail > 0 && rng != nil {
+			keep += rng.Intn(tail) // 0 <= extra < tail: at least one byte lost
+		}
+		d.used -= len(f.data) - keep
+		f.data = f.data[:keep]
+		// Everything that survived the power loss is on the platter now —
+		// a torn partial record is durable garbage until replay discards it.
+		f.synced = keep
+	}
+}
+
+// Wipe destroys all content, durable bytes included (the amnesia model:
+// the node lost its disk, not just its memory). Pending completions drop.
+func (d *Device) Wipe() {
+	d.epoch++
+	d.syncBusy = false
+	d.syncQueue = nil
+	d.files = make(map[string]*file)
+	d.used = 0
+}
+
+// StallFsync opens (or extends) an fsync-stall window: flushes issued
+// before the window closes do not complete until it does. In-flight
+// flushes are unaffected (their completion is already on the wire).
+func (d *Device) StallFsync(dur time.Duration) {
+	until := d.sim.Now().Add(dur)
+	if until > d.stallUntil {
+		d.stallUntil = until
+	}
+	d.fault(faultStall, int64(dur))
+}
+
+// ArmTornWrite arms the torn-write fault: the next Crash leaves a random
+// partial prefix of each file's volatile tail instead of dropping it
+// cleanly. The arm is consumed by the crash.
+func (d *Device) ArmTornWrite() {
+	d.tornArmed = true
+	d.fault(faultTornArm, 0)
+}
+
+// CorruptDurable flips one random bit inside the durable region of the
+// device's largest durable file (ties broken by name) — silent media
+// corruption that only a checksum verify during recovery can catch. It
+// reports whether any bit was flipped.
+func (d *Device) CorruptDurable(rng *rand.Rand) bool {
+	var victim *file
+	var max int
+	for _, name := range d.names() {
+		f := d.files[name]
+		if f.synced > max {
+			victim, max = f, f.synced
+		}
+	}
+	if victim == nil || rng == nil {
+		return false
+	}
+	// Flip in the second half of the durable region so a prefix survives to
+	// recover from; the replay must stop exactly at the corrupted record.
+	off := max/2 + rng.Intn(max-max/2)
+	victim.data[off] ^= 1 << uint(rng.Intn(8))
+	d.fault(faultCorrupt, int64(off))
+	return true
+}
+
+// SetFull arms or clears the full-disk fault: while armed every Append
+// fails with ErrNoSpace.
+func (d *Device) SetFull(on bool) {
+	d.full = on
+	v := int64(0)
+	if on {
+		v = 1
+	}
+	d.fault(faultFull, v)
+}
+
+func (d *Device) fault(id int, operand int64) {
+	d.stats.Faults++
+	if tr := d.sim.Tracer(); tr != nil {
+		tr.Instant(trace.KDiskFault, d.node, int64(d.sim.Now()), int64(id), operand)
+		tr.Add(trace.CtrDiskFaults, 1)
+	}
+}
+
+// Digest folds every file's name, durable length, and durable bytes into a
+// streaming FNV-1a hash: two devices with identical durable state have
+// identical digests. The seed-replay harness compares it across runs so
+// durable-state drift fails replay.
+func (d *Device) Digest() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	word := func(v uint64) {
+		h = (h ^ v) * prime
+	}
+	for _, name := range d.names() {
+		f := d.files[name]
+		for i := 0; i < len(name); i++ {
+			word(uint64(name[i]))
+		}
+		word(uint64(f.synced))
+		// Fold durable bytes 8 at a time (word-folded like the trace
+		// fingerprint; cheap and order-sensitive).
+		var acc uint64
+		for i := 0; i < f.synced; i++ {
+			acc = acc<<8 | uint64(f.data[i])
+			if i&7 == 7 {
+				word(acc)
+				acc = 0
+			}
+		}
+		word(acc)
+	}
+	return h
+}

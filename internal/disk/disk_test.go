@@ -1,0 +1,385 @@
+package disk
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"acuerdo/internal/simnet"
+)
+
+func newSim(seed int64) *simnet.Sim { return simnet.New(seed) }
+
+func TestAppendSyncDurability(t *testing.T) {
+	sim := newSim(1)
+	dev := NewDevice(sim, 0, DefaultParams())
+	var wrote, synced bool
+	dev.Append("wal", []byte("hello"), func(err error) {
+		if err != nil {
+			t.Errorf("append: %v", err)
+		}
+		wrote = true
+	})
+	if _, durable := dev.Size("wal"); durable != 0 {
+		t.Fatalf("bytes durable before any fsync: %d", durable)
+	}
+	dev.Sync("wal", func(err error) {
+		if err != nil {
+			t.Errorf("sync: %v", err)
+		}
+		synced = true
+	})
+	sim.RunFor(time.Millisecond)
+	if !wrote || !synced {
+		t.Fatalf("callbacks did not fire: wrote=%v synced=%v", wrote, synced)
+	}
+	if total, durable := dev.Size("wal"); total != 5 || durable != 5 {
+		t.Fatalf("got total=%d durable=%d, want 5/5", total, durable)
+	}
+	if got := dev.Durable("wal"); !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("durable content %q", got)
+	}
+}
+
+func TestFsyncLatencyOnClock(t *testing.T) {
+	sim := newSim(1)
+	p := DefaultParams()
+	p.FsyncLatency = 10 * time.Microsecond
+	p.FsyncBytePer = 0
+	dev := NewDevice(sim, 0, p)
+	dev.Append("wal", make([]byte, 100), nil)
+	start := sim.Now()
+	var doneAt simnet.Time
+	dev.Sync("wal", func(error) { doneAt = sim.Now() })
+	sim.RunFor(time.Millisecond)
+	if got := doneAt.Sub(start); got != 10*time.Microsecond {
+		t.Fatalf("fsync took %v, want 10us", got)
+	}
+}
+
+func TestCrashDropsVolatileTail(t *testing.T) {
+	sim := newSim(1)
+	dev := NewDevice(sim, 0, DefaultParams())
+	dev.Append("wal", []byte("durable|"), nil)
+	dev.Sync("wal", nil)
+	sim.RunFor(time.Millisecond)
+	dev.Append("wal", []byte("volatile"), nil)
+	dev.Crash(sim.Rand())
+	if got := dev.Durable("wal"); !bytes.Equal(got, []byte("durable|")) {
+		t.Fatalf("post-crash content %q", got)
+	}
+	if total, durable := dev.Size("wal"); total != durable {
+		t.Fatalf("crash left volatile bytes: total=%d durable=%d", total, durable)
+	}
+}
+
+func TestCrashDropsPendingCallbacks(t *testing.T) {
+	sim := newSim(1)
+	dev := NewDevice(sim, 0, DefaultParams())
+	fired := false
+	dev.Append("wal", []byte("x"), func(error) { fired = true })
+	dev.Sync("wal", func(error) { fired = true })
+	dev.Crash(sim.Rand())
+	sim.RunFor(time.Millisecond)
+	if fired {
+		t.Fatal("completion callback fired across a crash")
+	}
+}
+
+func TestWALGroupCommitBatches(t *testing.T) {
+	sim := newSim(1)
+	dev := NewDevice(sim, 0, DefaultParams())
+	w := NewWAL(dev, "wal")
+	const n = 16
+	acked := 0
+	for i := 0; i < n; i++ {
+		w.Append(KindUser, []byte{byte(i)}, func(err error) {
+			if err != nil {
+				t.Errorf("append: %v", err)
+			}
+			acked++
+		})
+	}
+	sim.RunFor(time.Millisecond)
+	if acked != n {
+		t.Fatalf("acked %d of %d appends", acked, n)
+	}
+	// All 16 appends land before the first flush completes: one flush for
+	// the head, at most one more for the batch behind it.
+	if f := dev.Stats().Fsyncs; f > 2 {
+		t.Fatalf("group commit issued %d fsyncs for %d concurrent appends", f, n)
+	}
+}
+
+func TestLogStoreRecoverRoundTrip(t *testing.T) {
+	sim := newSim(1)
+	dev := NewDevice(sim, 0, DefaultParams())
+	ls := NewLogStore(dev, "wal")
+	for i := uint64(0); i < 5; i++ {
+		ls.AppendEntry(i, 100+i, []byte{byte(i)}, nil)
+	}
+	ls.Truncate(3, nil) // drop entries 3, 4
+	ls.AppendEntry(3, 203, []byte{33}, nil)
+	ls.SetMeta(1, 42, nil)
+	ls.SetMeta(1, 43, nil) // last write wins
+	ls.SetMeta(2, 7, nil)
+	ls.Flush(nil)
+	sim.RunFor(time.Millisecond)
+	dev.Crash(sim.Rand())
+
+	rec := RecoverLog(dev, "wal")
+	if rec.Tail != TailClean || rec.Dropped != 0 {
+		t.Fatalf("tail=%v dropped=%d, want clean/0", rec.Tail, rec.Dropped)
+	}
+	if len(rec.Entries) != 4 {
+		t.Fatalf("recovered %d entries, want 4", len(rec.Entries))
+	}
+	for i, want := range []uint64{100, 101, 102, 203} {
+		if rec.Entries[i].Term != want {
+			t.Errorf("entry %d term %d, want %d", i, rec.Entries[i].Term, want)
+		}
+	}
+	if rec.Meta[1] != 43 || rec.Meta[2] != 7 {
+		t.Fatalf("meta = %v", rec.Meta)
+	}
+}
+
+func TestRecoverStopsAtTornTail(t *testing.T) {
+	sim := newSim(7)
+	dev := NewDevice(sim, 0, DefaultParams())
+	ls := NewLogStore(dev, "wal")
+	for i := uint64(0); i < 3; i++ {
+		ls.AppendEntry(i, 1, bytes.Repeat([]byte{byte(i)}, 64), nil)
+	}
+	sim.RunFor(time.Millisecond) // all three durable
+	// One more entry buffered but never flushed, then a torn crash: a
+	// random strict prefix of the unsynced record survives on the platter.
+	ls.AppendEntry(3, 1, bytes.Repeat([]byte{3}, 64), nil)
+	dev.ArmTornWrite()
+	dev.Crash(sim.Rand())
+
+	rec := RecoverLog(dev, "wal")
+	// The fsynced records are the durability floor; the torn partial record
+	// must never surface as an entry.
+	if len(rec.Entries) != 3 {
+		t.Fatalf("recovered %d entries, want exactly the 3 fsynced ones", len(rec.Entries))
+	}
+	if rec.Dropped > 0 && rec.Tail != TailTorn {
+		t.Fatalf("%d trailing bytes but tail=%v, want torn", rec.Dropped, rec.Tail)
+	}
+	for i, e := range rec.Entries {
+		if e.Seq != uint64(i) || e.Term != 1 || len(e.Data) != 64 {
+			t.Fatalf("entry %d corrupted: %+v", i, e)
+		}
+	}
+}
+
+func TestRecoverStopsAtBitFlip(t *testing.T) {
+	sim := newSim(3)
+	dev := NewDevice(sim, 0, DefaultParams())
+	ls := NewLogStore(dev, "wal")
+	for i := uint64(0); i < 8; i++ {
+		ls.AppendEntry(i, 1, bytes.Repeat([]byte{byte(i)}, 32), nil)
+	}
+	sim.RunFor(time.Millisecond)
+	if !dev.CorruptDurable(sim.Rand()) {
+		t.Fatal("corruption found nothing to flip")
+	}
+	rec := RecoverLog(dev, "wal")
+	if rec.Tail != TailCorrupt {
+		t.Fatalf("tail=%v, want corrupt", rec.Tail)
+	}
+	if len(rec.Entries) >= 8 || rec.Dropped == 0 {
+		t.Fatalf("corruption undetected: %d entries, %d dropped", len(rec.Entries), rec.Dropped)
+	}
+	// The surviving prefix must be intact.
+	for i, e := range rec.Entries {
+		if e.Seq != uint64(i) || !bytes.Equal(e.Data, bytes.Repeat([]byte{byte(i)}, 32)) {
+			t.Fatalf("recovered prefix entry %d damaged", i)
+		}
+	}
+}
+
+func TestFullDiskFailsAppends(t *testing.T) {
+	sim := newSim(1)
+	dev := NewDevice(sim, 0, DefaultParams())
+	w := NewWAL(dev, "wal")
+	dev.SetFull(true)
+	var got error
+	w.Append(KindUser, []byte("x"), func(err error) { got = err })
+	sim.RunFor(time.Millisecond)
+	if got != ErrNoSpace {
+		t.Fatalf("append on full disk: err=%v, want ErrNoSpace", got)
+	}
+	dev.SetFull(false)
+	got = nil
+	w.Append(KindUser, []byte("x"), func(err error) { got = err })
+	sim.RunFor(time.Millisecond)
+	if got != nil {
+		t.Fatalf("append after clearing full: %v", got)
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	sim := newSim(1)
+	p := DefaultParams()
+	p.Capacity = 100
+	dev := NewDevice(sim, 0, p)
+	if err := dev.Append("wal", make([]byte, 80), nil); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if err := dev.Append("wal", make([]byte, 30), nil); err != ErrNoSpace {
+		t.Fatalf("over-capacity append: err=%v, want ErrNoSpace", err)
+	}
+}
+
+func TestFsyncStallDelaysFlush(t *testing.T) {
+	sim := newSim(1)
+	p := DefaultParams()
+	p.FsyncLatency = 10 * time.Microsecond
+	p.FsyncBytePer = 0
+	dev := NewDevice(sim, 0, p)
+	dev.Append("wal", []byte("x"), nil)
+	dev.StallFsync(5 * time.Millisecond)
+	start := sim.Now()
+	var doneAt simnet.Time
+	dev.Sync("wal", func(error) { doneAt = sim.Now() })
+	sim.RunFor(20 * time.Millisecond)
+	if got := doneAt.Sub(start); got != 5*time.Millisecond+10*time.Microsecond {
+		t.Fatalf("stalled fsync took %v, want 5.01ms", got)
+	}
+}
+
+func TestSnapshotAtomicRename(t *testing.T) {
+	sim := newSim(1)
+	dev := NewDevice(sim, 0, DefaultParams())
+	done := false
+	WriteSnapshot(dev, "snap", []byte("v1"), func(err error) {
+		if err != nil {
+			t.Errorf("snapshot v1: %v", err)
+		}
+		done = true
+	})
+	sim.RunFor(time.Millisecond)
+	if !done {
+		t.Fatal("snapshot v1 never completed")
+	}
+	// Crash mid-way through writing v2: before its flush completes, the
+	// rename has not happened, so recovery still sees v1 intact.
+	WriteSnapshot(dev, "snap", []byte("v2-much-longer"), nil)
+	dev.Crash(sim.Rand())
+	got, ok := ReadSnapshot(dev, "snap")
+	if !ok || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("post-crash snapshot = %q ok=%v, want v1", got, ok)
+	}
+	// A completed rewrite replaces it.
+	WriteSnapshot(dev, "snap", []byte("v3"), nil)
+	sim.RunFor(time.Millisecond)
+	got, ok = ReadSnapshot(dev, "snap")
+	if !ok || !bytes.Equal(got, []byte("v3")) {
+		t.Fatalf("snapshot after rewrite = %q ok=%v, want v3", got, ok)
+	}
+}
+
+func TestSnapshotChecksumRejectsCorruption(t *testing.T) {
+	sim := newSim(9)
+	dev := NewDevice(sim, 0, DefaultParams())
+	WriteSnapshot(dev, "snap", bytes.Repeat([]byte("abc"), 50), nil)
+	sim.RunFor(time.Millisecond)
+	if !dev.CorruptDurable(sim.Rand()) {
+		t.Fatal("nothing corrupted")
+	}
+	if _, ok := ReadSnapshot(dev, "snap"); ok {
+		t.Fatal("corrupted snapshot passed its checksum")
+	}
+}
+
+func TestDigestTracksDurableStateOnly(t *testing.T) {
+	mk := func(seed int64, extraVolatile bool) uint64 {
+		sim := newSim(seed)
+		dev := NewDevice(sim, 0, DefaultParams())
+		ls := NewLogStore(dev, "wal")
+		for i := uint64(0); i < 4; i++ {
+			ls.AppendEntry(i, 9, []byte{byte(i)}, nil)
+		}
+		sim.RunFor(time.Millisecond)
+		if extraVolatile {
+			ls.AppendEntry(99, 9, []byte("unsynced"), nil) // buffered, never flushed
+		}
+		return dev.Digest()
+	}
+	if mk(1, false) != mk(2, false) {
+		t.Fatal("identical durable state produced different digests")
+	}
+	if mk(1, false) != mk(1, true) {
+		t.Fatal("volatile bytes leaked into the durable digest")
+	}
+	// And durable differences must show.
+	sim := newSim(1)
+	dev := NewDevice(sim, 0, DefaultParams())
+	NewLogStore(dev, "wal").AppendEntry(0, 1, []byte("different"), nil)
+	sim.RunFor(time.Millisecond)
+	if dev.Digest() == mk(1, false) {
+		t.Fatal("different durable state produced equal digests")
+	}
+}
+
+func TestWipeDestroysEverything(t *testing.T) {
+	sim := newSim(1)
+	dev := NewDevice(sim, 0, DefaultParams())
+	NewLogStore(dev, "wal").AppendEntry(0, 1, []byte("x"), nil)
+	sim.RunFor(time.Millisecond)
+	dev.Wipe()
+	if rec := RecoverLog(dev, "wal"); len(rec.Entries) != 0 || rec.Bytes != 0 {
+		t.Fatalf("wipe left %d entries / %d bytes", len(rec.Entries), rec.Bytes)
+	}
+}
+
+func TestDeterministicTornCrash(t *testing.T) {
+	run := func() (int, uint64) {
+		sim := newSim(42)
+		dev := NewDevice(sim, 0, DefaultParams())
+		ls := NewLogStore(dev, "wal")
+		for i := uint64(0); i < 4; i++ {
+			ls.AppendEntry(i, 1, bytes.Repeat([]byte{byte(i)}, 48), nil)
+		}
+		sim.RunFor(time.Millisecond)
+		for i := uint64(4); i < 8; i++ {
+			ls.AppendEntry(i, 1, bytes.Repeat([]byte{byte(i)}, 48), nil)
+		}
+		dev.ArmTornWrite()
+		dev.Crash(sim.Rand())
+		rec := RecoverLog(dev, "wal")
+		return len(rec.Entries), dev.Digest()
+	}
+	n1, d1 := run()
+	n2, d2 := run()
+	if n1 != n2 || d1 != d2 {
+		t.Fatalf("same seed diverged: (%d,%016x) vs (%d,%016x)", n1, d1, n2, d2)
+	}
+}
+
+func TestReadCostScalesWithBytes(t *testing.T) {
+	sim := newSim(1)
+	p := DefaultParams()
+	p.ReadLatency = 5 * time.Microsecond
+	p.ReadBytePer = time.Nanosecond
+	dev := NewDevice(sim, 0, p)
+	if got, want := dev.ReadCost(1000), 6*time.Microsecond; got != want {
+		t.Fatalf("ReadCost(1000) = %v, want %v", got, want)
+	}
+}
+
+func ExampleRecoverLog() {
+	sim := simnet.New(1)
+	dev := NewDevice(sim, 0, DefaultParams())
+	ls := NewLogStore(dev, "wal")
+	ls.AppendEntry(0, 7, []byte("payload"), nil)
+	ls.SetMeta(1, 99, nil)
+	sim.RunFor(time.Millisecond)
+	dev.Crash(sim.Rand())
+	rec := RecoverLog(dev, "wal")
+	fmt.Println(len(rec.Entries), rec.Meta[1], rec.Tail)
+	// Output: 1 99 clean
+}

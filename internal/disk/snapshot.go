@@ -1,0 +1,65 @@
+package disk
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Snapshot files use the classic temp-then-atomic-rename protocol:
+// WriteSnapshot builds "<name>.tmp" from scratch, flushes it, and only then
+// renames it over name. A crash at any point leaves either the complete old
+// snapshot or the complete new one — never a half-written hybrid. The file
+// body is one checksummed blob:
+//
+//	[crc u32][len u32][data]
+//
+// so ReadSnapshot can also reject media corruption the way WAL replay does.
+
+// WriteSnapshot atomically replaces the named snapshot with data and runs
+// done(nil) once the new snapshot is durable under its final name (or
+// done(err) on a full disk). done may be nil.
+func WriteSnapshot(dev *Device, name string, data []byte, done func(error)) {
+	tmp := name + ".tmp"
+	dev.Truncate(tmp)
+	blob := make([]byte, 8+len(data))
+	binary.LittleEndian.PutUint32(blob[0:], crc32.ChecksumIEEE(data))
+	binary.LittleEndian.PutUint32(blob[4:], uint32(len(data)))
+	copy(blob[8:], data)
+	if err := dev.Append(tmp, blob, nil); err != nil {
+		dev.Remove(tmp)
+		dev.Complete(0, done, err)
+		return
+	}
+	dev.Sync(tmp, func(err error) {
+		if err != nil {
+			if done != nil {
+				done(err)
+			}
+			return
+		}
+		dev.Rename(tmp, name)
+		if done != nil {
+			done(nil)
+		}
+	})
+}
+
+// ReadSnapshot returns the durable snapshot body, or ok=false when the
+// snapshot is missing, incomplete (never fully flushed before a crash), or
+// fails its checksum. Callers charge dev.ReadCost for the bytes returned.
+func ReadSnapshot(dev *Device, name string) (data []byte, ok bool) {
+	buf := dev.Durable(name)
+	if len(buf) < 8 {
+		return nil, false
+	}
+	crc := binary.LittleEndian.Uint32(buf[0:])
+	n := int(binary.LittleEndian.Uint32(buf[4:]))
+	if 8+n > len(buf) {
+		return nil, false
+	}
+	body := buf[8 : 8+n]
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, false
+	}
+	return body, true
+}

@@ -44,7 +44,10 @@ func (o Op) Encode() []byte {
 	return b
 }
 
-// DecodeOp parses an encoded op.
+// DecodeOp parses an encoded op. The buffer must be exactly one encoded
+// op: length fields that run past the buffer (truncation) and trailing
+// bytes beyond the encoded lengths (garbage a lax decoder would silently
+// accept) are both rejected.
 func DecodeOp(b []byte) (Op, error) {
 	if len(b) < 15 {
 		return Op{}, fmt.Errorf("kvstore: short op (%d bytes)", len(b))
@@ -53,6 +56,9 @@ func DecodeOp(b []byte) (Op, error) {
 	vl := int(binary.LittleEndian.Uint32(b[11:]))
 	if 15+kl+vl > len(b) {
 		return Op{}, fmt.Errorf("kvstore: truncated op")
+	}
+	if 15+kl+vl != len(b) {
+		return Op{}, fmt.Errorf("kvstore: %d trailing bytes after op", len(b)-15-kl-vl)
 	}
 	o := Op{
 		ID:   binary.LittleEndian.Uint64(b),

@@ -9,21 +9,23 @@ import (
 // functions, methods, types, constants, and variables. It is scoped to the
 // packages whose exported surface is the repository's harness API
 // (internal/sweep, internal/bench, internal/chaos, internal/trace,
-// internal/observe): those packages are what ARCHITECTURE.md points readers
-// at, so an undocumented export there is a documentation regression, not a
-// style nit. internal/observe qualifies because every protocol package calls
-// its hooks — an undocumented hook is an instrumentation API nobody can
-// place correctly.
+// internal/observe, internal/disk): those packages are what ARCHITECTURE.md
+// points readers at, so an undocumented export there is a documentation
+// regression, not a style nit. internal/observe qualifies because every
+// protocol package calls its hooks — an undocumented hook is an
+// instrumentation API nobody can place correctly. internal/disk qualifies
+// because every protocol's durable mode builds on its Device/LogStore
+// surface, and the chaos fault injectors call straight into it.
 var ExportDoc = &Analyzer{
 	Name: "exportdoc",
 	Doc: "require doc comments on exported identifiers in the harness API " +
-		"packages (sweep, bench, chaos, trace, observe)",
+		"packages (sweep, bench, chaos, trace, observe, disk)",
 	Run: runExportDoc,
 	InScope: func(pkgPath string) bool {
 		switch pkgPath {
 		case "acuerdo/internal/sweep", "acuerdo/internal/bench",
 			"acuerdo/internal/chaos", "acuerdo/internal/trace",
-			"acuerdo/internal/observe":
+			"acuerdo/internal/observe", "acuerdo/internal/disk":
 			return true
 		}
 		return false

@@ -149,7 +149,13 @@ func TestAnalyzerScopes(t *testing.T) {
 		{"exportdoc", "acuerdo/internal/sweep", true},
 		{"exportdoc", "acuerdo/internal/bench", true},
 		{"exportdoc", "acuerdo/internal/observe", true},
+		{"exportdoc", "acuerdo/internal/disk", true},
 		{"exportdoc", "acuerdo/internal/zab", false},
+		// The simulated disk runs on the simnet clock, so the determinism
+		// analyzers cover it like any protocol package.
+		{"maporder", "acuerdo/internal/disk", true},
+		{"nowallclock", "acuerdo/internal/disk", true},
+		{"hostblock", "acuerdo/internal/disk", true},
 		// The observer package and its hook call-sites sit inside the
 		// determinism suite's default scope.
 		{"maporder", "acuerdo/internal/observe", true},

@@ -1,0 +1,131 @@
+package observe_test
+
+import (
+	"testing"
+
+	"acuerdo/internal/observe"
+)
+
+// replicate appends entry (index, term, id) at a quorum of nodes so commit
+// advances cleanly in the durability scenarios below.
+func replicate(o *observe.Observer, index, term uint64, id int64) {
+	o.LogAppend(0, 10, index, term, id)
+	o.LogAppend(1, 11, index, term, id)
+}
+
+// TestDurableFrontierMonotone: the frontier may re-report and grow, never
+// shrink, while the device is healthy.
+func TestDurableFrontierMonotone(t *testing.T) {
+	o := newObs(3)
+	o.DurableFrontier(0, 10, 3)
+	o.DurableFrontier(0, 20, 3) // re-report: ok
+	o.DurableFrontier(0, 30, 5) // grow: ok
+	if o.ViolationCount() != 0 {
+		t.Fatalf("monotone frontier flagged:\n%s", o.Report())
+	}
+	o.DurableFrontier(0, 40, 4)
+	wantViolations(t, o, observe.InvDurablePrefix, 1)
+}
+
+// TestDurablePrefixCatchesLostCommittedEntry is the seeded
+// lost-committed-entry mutation: a node acknowledges entries as durable,
+// crashes, and recovers claiming a frontier below the durable floor. The
+// durable-prefix invariant must catch it.
+func TestDurablePrefixCatchesLostCommittedEntry(t *testing.T) {
+	o := newObs(3)
+	for i := uint64(0); i < 5; i++ {
+		replicate(o, i, 1, int64(100+i))
+		o.CommitAdvance(0, 20, i+1)
+	}
+	o.DurableFrontier(0, 30, 5) // disk acknowledged all 5 committed entries
+
+	o.NodeRestart(0, 40)
+	for i := uint64(0); i < 3; i++ { // the mutation: two durable entries vanish
+		o.LogRecover(0, 50, i, 1, int64(100+i))
+	}
+	o.RecoverDone(0, 60, 3, 3)
+	wantViolations(t, o, observe.InvDurablePrefix, 1)
+}
+
+// TestDurableRecoveryClean: a faithful recovery — full durable prefix back,
+// volatile tail dropped — raises nothing.
+func TestDurableRecoveryClean(t *testing.T) {
+	o := newObs(3)
+	for i := uint64(0); i < 4; i++ {
+		replicate(o, i, 1, int64(100+i))
+	}
+	o.CommitAdvance(0, 20, 3)
+	o.DurableFrontier(0, 30, 3)
+
+	o.NodeRestart(0, 40)
+	for i := uint64(0); i < 3; i++ { // entry 3 was volatile; legally gone
+		o.LogRecover(0, 50, i, 1, int64(100+i))
+	}
+	o.RecoverDone(0, 60, 3, 3)
+	if o.ViolationCount() != 0 {
+		t.Fatalf("clean recovery flagged:\n%s", o.Report())
+	}
+	// Post-recovery amnesty is gone: a commit rewind is a violation again.
+	o.CommitAdvance(0, 70, 2)
+	wantViolations(t, o, observe.InvCommitMonotone, 1)
+}
+
+// TestDiskFaultResetsDurableFloor: corruption/wipe legitimately destroys
+// durable state, so a recovery below the old floor is not a violation.
+func TestDiskFaultResetsDurableFloor(t *testing.T) {
+	o := newObs(3)
+	for i := uint64(0); i < 3; i++ {
+		replicate(o, i, 1, int64(100+i))
+	}
+	o.CommitAdvance(0, 20, 3)
+	o.DurableFrontier(0, 30, 3)
+	o.DiskFault(0, 35) // the wipe
+	o.NodeRestart(0, 40)
+	o.RecoverDone(0, 60, 0, 0) // nothing recovered — and that's legal now
+	if o.ViolationCount() != 0 {
+		t.Fatalf("post-fault empty recovery flagged:\n%s", o.Report())
+	}
+}
+
+// TestRecoveredPrefixDivergence: a recovered entry that differs from the
+// pre-crash shadow log is a recovered-prefix violation.
+func TestRecoveredPrefixDivergence(t *testing.T) {
+	o := newObs(3)
+	o.LogAppend(0, 10, 0, 1, 100)
+	o.NodeRestart(0, 20)
+	o.LogRecover(0, 30, 0, 1, 999) // disk returned a different payload
+	if o.ViolationCount() == 0 {
+		t.Fatal("divergent recovered entry not flagged")
+	}
+	var sawRecovered bool
+	for _, v := range o.Violations() {
+		if v.Invariant == observe.InvRecoveredPrefix {
+			sawRecovered = true
+		}
+	}
+	if !sawRecovered {
+		t.Fatalf("no recovered-prefix violation in:\n%s", o.Report())
+	}
+}
+
+// TestRecoverDoneFrontierBeyondLog: claiming a commit frontier the
+// recovered log does not cover is a recovered-prefix violation.
+func TestRecoverDoneFrontierBeyondLog(t *testing.T) {
+	o := newObs(3)
+	o.NodeRestart(0, 10)
+	o.RecoverDone(0, 20, 2, 5)
+	wantViolations(t, o, observe.InvRecoveredPrefix, 1)
+}
+
+// TestNilObserverDurableHooks extends the nil-receiver contract to the
+// durability hooks.
+func TestNilObserverDurableHooks(t *testing.T) {
+	var o *observe.Observer
+	o.DurableFrontier(0, 0, 1)
+	o.DiskFault(0, 0)
+	o.LogRecover(0, 0, 0, 1, 7)
+	o.RecoverDone(0, 0, 1, 1)
+	if o.Digest() != 0 || o.Checks() != 0 {
+		t.Error("nil durability hooks mutated state")
+	}
+}

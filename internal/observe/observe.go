@@ -98,6 +98,18 @@ const (
 	// InvLeaderUniqueness: at most one node wins a given term/epoch, and
 	// (for the acuerdo ring) the winner is the node named by the epoch.
 	InvLeaderUniqueness
+	// InvDurablePrefix: the disk-acknowledged durable commit frontier never
+	// regresses while the device is healthy, and crash recovery never
+	// reports a frontier below the pre-crash durable floor — no entry the
+	// node acknowledged as committed-and-fsynced ever vanishes across a
+	// restart. A DiskFault (checksum-caught corruption, wiped device)
+	// legitimately resets the floor.
+	InvDurablePrefix
+	// InvRecoveredPrefix: the log a node reads back from disk during crash
+	// recovery is a prefix of the log it held before the crash — same
+	// (term, id) at every recovered index, and the recovered log covers the
+	// commit frontier the node claims.
+	InvRecoveredPrefix
 
 	numInvariants
 )
@@ -120,6 +132,8 @@ var invariantNames = [numInvariants]string{
 	InvBallotSingleValue:  "ballot-single-value",
 	InvChosenAgreement:    "chosen-agreement",
 	InvLeaderUniqueness:   "leader-uniqueness",
+	InvDurablePrefix:      "durable-prefix",
+	InvRecoveredPrefix:    "recovered-prefix",
 }
 
 // String returns the invariant's stable name ("log-matching", ...).
@@ -217,6 +231,10 @@ const (
 	opAssign
 	opRestart
 	opViolation
+	opDurableFrontier
+	opDiskFault
+	opLogRecover
+	opRecoverDone
 )
 
 type regKey struct {
@@ -261,6 +279,11 @@ type nodeState struct {
 	// acuerdo committed header (epoch round, epoch leader, count).
 	aRound, aLdr, aCnt uint32
 	aSeen              bool
+
+	// disk-acknowledged durable commit frontier (entries known fsynced
+	// and committed; the floor crash recovery is held to).
+	durableLen  uint64
+	durableSeen bool
 }
 
 // sstShadow is the observer's copy of one SST's last-seen rows plus the
@@ -633,6 +656,101 @@ func (o *Observer) Deliver(node int, at int64, seq uint64, id int64) {
 	o.counts[InvDeliveryAgreement]++
 	o.checkReg(spaceDeliver, seq, 0, id, InvDeliveryAgreement, node, at,
 		fmt.Sprintf("delivery position %d", seq))
+}
+
+// --- durability -----------------------------------------------------------
+
+// DurableFrontier records node's disk acknowledging that the first n
+// committed entries are durable (the commit-metadata fsync completed) and
+// checks that the frontier never regresses while the device is healthy.
+// This frontier is the floor crash recovery is held to in RecoverDone.
+func (o *Observer) DurableFrontier(node int, at int64, n uint64) {
+	if o == nil {
+		return
+	}
+	o.fold(InvDurablePrefix, opDurableFrontier, node, at, int64(n), 0)
+	ns := &o.nodes[node]
+	if ns.durableSeen && n < ns.durableLen {
+		o.violate(InvDurablePrefix, node, at, int64(n), int64(ns.durableLen),
+			"durable commit frontier regressed %d -> %d without a disk fault", ns.durableLen, n)
+	}
+	if !ns.durableSeen || n > ns.durableLen {
+		ns.durableLen = n
+	}
+	ns.durableSeen = true
+}
+
+// DiskFault records a fault that legitimately destroys durable state at
+// node — checksum-caught corruption, a wiped (amnesiac) device — and
+// resets the durable floor so the next recovery is not held to it.
+func (o *Observer) DiskFault(node int, at int64) {
+	if o == nil {
+		return
+	}
+	o.fold(InvDurablePrefix, opDiskFault, node, at, 0, 0)
+	ns := &o.nodes[node]
+	ns.durableLen = 0
+	ns.durableSeen = false
+}
+
+// LogRecover records node reading entry (index, term, id) back from its
+// disk during crash recovery and checks that it matches the pre-crash
+// shadow log — recovered state must be a prefix of what the node held —
+// plus global log matching. Call after NodeRestart, before RecoverDone.
+func (o *Observer) LogRecover(node int, at int64, index, term uint64, id int64) {
+	if o == nil {
+		return
+	}
+	o.fold(InvRecoveredPrefix, opLogRecover, node, at, int64(index), id)
+	ns := &o.nodes[node]
+	if uint64(len(ns.log)) > index {
+		if old := ns.log[index]; old.valid && (old.term != term || old.id != id) {
+			o.violate(InvRecoveredPrefix, node, at, int64(index), id,
+				"recovered entry (index %d, term %d, id %d) diverges from pre-crash (term %d, id %d)",
+				index, term, id, old.term, old.id)
+		}
+	}
+	o.counts[InvLogMatching]++
+	o.checkReg(spaceLog, index, term, id, InvLogMatching, node, at,
+		fmt.Sprintf("log entry (index %d, term %d)", index, term))
+	for uint64(len(ns.log)) <= index {
+		ns.log = append(ns.log, logEntry{})
+	}
+	ns.log[index] = logEntry{term: term, id: id, valid: true}
+}
+
+// RecoverDone closes node's crash recovery: the recovered log holds logLen
+// entries and the node claims a committed frontier of frontier entries.
+// Checks the durable floor — every entry the disk acknowledged as durable
+// before the crash must have survived (InvDurablePrefix: no committed-
+// then-acknowledged entry vanishes) — and that the recovered log covers
+// the claimed frontier. The shadow log truncates to the recovered length
+// (the volatile tail is legitimately gone) and the NodeRestart commit
+// amnesty tightens back up: commit regression below the recovered
+// frontier counts as a violation again.
+func (o *Observer) RecoverDone(node int, at int64, logLen, frontier uint64) {
+	if o == nil {
+		return
+	}
+	o.fold(InvDurablePrefix, opRecoverDone, node, at, int64(logLen), int64(frontier))
+	ns := &o.nodes[node]
+	if ns.durableSeen && frontier < ns.durableLen {
+		o.violate(InvDurablePrefix, node, at, int64(frontier), int64(ns.durableLen),
+			"recovery lost committed durable entries: recovered frontier %d below durable floor %d",
+			frontier, ns.durableLen)
+	}
+	o.counts[InvRecoveredPrefix]++
+	if logLen < frontier {
+		o.violate(InvRecoveredPrefix, node, at, int64(logLen), int64(frontier),
+			"recovered log (%d entries) does not cover claimed commit frontier %d", logLen, frontier)
+	}
+	if uint64(len(ns.log)) > logLen {
+		ns.log = ns.log[:logLen]
+	}
+	ns.commitLen = frontier
+	ns.commitValid = true
+	ns.durableLen = frontier
+	ns.durableSeen = true
 }
 
 // --- paxos ----------------------------------------------------------------

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"acuerdo/internal/abcast"
+	"acuerdo/internal/disk"
 	"acuerdo/internal/observe"
 	"acuerdo/internal/simnet"
 	"acuerdo/internal/tcpnet"
@@ -91,6 +92,14 @@ type Server struct {
 	// re-proposed after failover) and ids this learner has delivered.
 	seenIDs      map[uint64]bool
 	deliveredIDs map[uint64]bool
+
+	// Durable mode (SetDisks): the acceptor's promise/accept log and the
+	// learner's chosen/delivered log share one device, and the delivery
+	// frontier at the last crash feeds the fabric recovery-bytes tally.
+	dev               *disk.Device
+	astore            *disk.LogStore
+	lstore            *disk.LogStore
+	preCrashDelivered uint64
 }
 
 // Cluster is a libpaxos deployment plus a client host.
@@ -105,6 +114,13 @@ type Cluster struct {
 	toClient []*tcpnet.Conn
 	pending  map[uint64]func()
 	obs      *observe.Observer
+
+	// FabricRecoveryBytes counts payload bytes re-shipped over the network
+	// to refill a restarted learner's pre-crash instances;
+	// DiskRecoveredBytes counts bytes read back from local logs during
+	// crash recovery (durable mode only).
+	FabricRecoveryBytes int64
+	DiskRecoveredBytes  int64
 
 	// OnDeliver observes deliveries at every learner.
 	OnDeliver func(replica int, instance uint64, payload []byte)
@@ -153,9 +169,46 @@ func NewCluster(sim *simnet.Sim, net *tcpnet.Net, cfg Config) *Cluster {
 
 // SetObserver attaches the runtime invariant observer (nil detaches):
 // promises, acceptances, chosen values, deliveries, and phase-1 wins report
-// to it. Acceptor and learner state are durable across restarts, so no
-// restart hook fires. Call before Start.
+// to it. In volatile mode acceptor and learner state survive restarts in
+// memory, so no restart hook fires; durable mode reports promises and
+// acceptances only once they are fsynced (the externally visible state),
+// plus RecoverDone and DurableFrontier around crash recovery. Call before
+// Start.
 func (c *Cluster) SetObserver(o *observe.Observer) { c.obs = o }
+
+// Per-device WAL names: the acceptor's promise/accept log and the learner's
+// chosen/delivered log. Accept records are keyed by instance (last record
+// wins on recovery); chosen records are keyed by instance and written once.
+const (
+	paxosAcceptWAL = "acceptor.wal"
+	paxosLearnWAL  = "learner.wal"
+)
+
+// Metadata keys. The acceptor's promise is synced before any promise or
+// accepted reply leaves the node (ballot monotonicity must survive a crash);
+// the learner's delivery frontier is a recovery hint — stale merely means a
+// longer catch-up over the fabric.
+const (
+	metaPromised  = uint8(1)
+	metaDelivered = uint8(2)
+)
+
+// SetDisks attaches one simulated disk per server and switches the
+// deployment to durable mode: acceptors sync their promise and accepted
+// value before replying, learners log chosen values and their delivery
+// frontier, and Restart recovers from the device instead of trusting
+// memory. Call before Start with exactly N devices; nil keeps the legacy
+// volatile model (bit-identical to the pre-disk behavior).
+func (c *Cluster) SetDisks(devs []*disk.Device) {
+	if devs == nil {
+		return
+	}
+	for i, s := range c.Servers {
+		s.dev = devs[i]
+		s.astore = disk.NewLogStore(devs[i], paxosAcceptWAL)
+		s.lstore = disk.NewLogStore(devs[i], paxosLearnWAL)
+	}
+}
 
 // Start boots the deployment with server 0 as proposer (ballot = id+1).
 func (c *Cluster) Start() {
@@ -282,15 +335,31 @@ func (s *Server) onAccept(ballot, inst uint64, payload []byte) {
 	}
 	s.promised = ballot
 	s.node.Proc.Pause(s.c.cfg.AcceptorOpCost)
-	s.accepted[inst] = acceptedVal{ballot: ballot, payload: append([]byte(nil), payload...)}
-	s.c.obs.PaxosAccept(s.id, int64(s.c.Sim.Now()), inst, ballot, trace.ID(payload))
-	if tr := s.c.Sim.Tracer(); tr != nil {
-		tr.Instant(trace.KAccept, s.id, int64(s.c.Sim.Now()), trace.ID(payload), int64(inst))
-		tr.Add(trace.CtrAccepts, 1)
+	pl := append([]byte(nil), payload...)
+	s.accepted[inst] = acceptedVal{ballot: ballot, payload: pl}
+	notify := func() {
+		s.c.obs.PaxosAccept(s.id, int64(s.c.Sim.Now()), inst, ballot, trace.ID(pl))
+		if tr := s.c.Sim.Tracer(); tr != nil {
+			tr.Instant(trace.KAccept, s.id, int64(s.c.Sim.Now()), trace.ID(pl), int64(inst))
+			tr.Add(trace.CtrAccepts, 1)
+		}
+		s.broadcast(enc(mAccepted, ballot, inst, s.id, pl))
+		s.onAccepted(ballot, inst, s.id, pl) // local learner
 	}
-	out := enc(mAccepted, ballot, inst, s.id, payload)
-	s.broadcast(out)
-	s.onAccepted(ballot, inst, s.id, payload) // local learner
+	if s.astore == nil {
+		notify()
+		return
+	}
+	// The ACCEPTED notification must not outrun durable storage: a crash
+	// after notifying but before syncing could un-accept a value a quorum
+	// was counted on. Group commit batches concurrent accepts into one sync.
+	s.astore.AppendEntry(inst, ballot, pl, nil)
+	s.astore.SetMeta(metaPromised, s.promised, nil)
+	s.astore.Flush(func(err error) {
+		if err == nil {
+			notify()
+		}
+	})
 }
 
 // onAccepted is phase 2b at the learner: a quorum of acceptors on the same
@@ -320,12 +389,24 @@ func (s *Server) onAccepted(ballot, inst uint64, from int, payload []byte) {
 		if _, ok := s.chosen[inst]; !ok {
 			s.chosen[inst] = append([]byte(nil), payload...)
 			s.c.obs.PaxosChosen(s.id, int64(s.c.Sim.Now()), inst, trace.ID(payload))
+			if s.lstore != nil {
+				// Background append; the delivery-frontier flush (or the
+				// next one) makes it durable. A chosen value lost to a crash
+				// is refetched from peers, so no sync is needed here.
+				s.lstore.AppendEntry(inst, 0, s.chosen[inst], nil)
+			}
 		}
 		s.deliver()
 	}
 }
 
 func (s *Server) deliver() {
+	before := s.delivered
+	defer func() {
+		if s.delivered > before {
+			s.persistDelivered()
+		}
+	}()
 	for {
 		payload, ok := s.chosen[s.delivered]
 		if !ok {
@@ -358,6 +439,23 @@ func (s *Server) deliver() {
 			s.pump()
 		}
 	}
+}
+
+// persistDelivered records the learner's delivery frontier in the background
+// and reports the durable frontier to the observer once the fsync lands. The
+// flush also syncs every chosen-value append queued before it, so a durable
+// frontier n implies every instance below n is durably chosen.
+func (s *Server) persistDelivered() {
+	if s.lstore == nil {
+		return
+	}
+	n := s.delivered
+	s.lstore.SetMeta(metaDelivered, n, nil)
+	s.lstore.Flush(func(err error) {
+		if err == nil {
+			s.c.obs.DurableFrontier(s.id, int64(s.c.Sim.Now()), n)
+		}
+	})
 }
 
 // --- proposer failover (phase 1) ---
@@ -431,29 +529,43 @@ func (s *Server) onPrepare(ballot, fromInst uint64, from int) {
 		s.stepDown()
 	}
 	s.promised = ballot
-	s.c.obs.PaxosPromise(s.id, int64(s.c.Sim.Now()), ballot)
-	var insts []uint64
-	for inst := range s.accepted {
-		if inst >= fromInst {
-			insts = append(insts, inst)
+	reply := func() {
+		s.c.obs.PaxosPromise(s.id, int64(s.c.Sim.Now()), ballot)
+		var insts []uint64
+		for inst := range s.accepted {
+			if inst >= fromInst {
+				insts = append(insts, inst)
+			}
+		}
+		sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+		var buf []byte
+		for _, inst := range insts {
+			av := s.accepted[inst]
+			rec := make([]byte, 20+len(av.payload))
+			binary.LittleEndian.PutUint64(rec, inst)
+			binary.LittleEndian.PutUint64(rec[8:], av.ballot)
+			binary.LittleEndian.PutUint32(rec[16:], uint32(len(av.payload)))
+			copy(rec[20:], av.payload)
+			buf = append(buf, rec...)
+		}
+		if from == s.id {
+			s.onPromise(ballot, s.id, buf)
+		} else {
+			s.send(from, enc(mPromise, ballot, fromInst, s.id, buf))
 		}
 	}
-	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
-	var buf []byte
-	for _, inst := range insts {
-		av := s.accepted[inst]
-		rec := make([]byte, 20+len(av.payload))
-		binary.LittleEndian.PutUint64(rec, inst)
-		binary.LittleEndian.PutUint64(rec[8:], av.ballot)
-		binary.LittleEndian.PutUint32(rec[16:], uint32(len(av.payload)))
-		copy(rec[20:], av.payload)
-		buf = append(buf, rec...)
+	if s.astore == nil {
+		reply()
+		return
 	}
-	if from == s.id {
-		s.onPromise(ballot, s.id, buf)
-	} else {
-		s.send(from, enc(mPromise, ballot, fromInst, s.id, buf))
-	}
+	// A promise is binding only once durable: sync it before replying so no
+	// post-crash incarnation can accept a lower ballot this reply excluded.
+	s.astore.SetMeta(metaPromised, s.promised, nil)
+	s.astore.Flush(func(err error) {
+		if err == nil {
+			reply()
+		}
+	})
 }
 
 // onPromise is phase 1b at the new proposer: on a quorum of promises,
@@ -543,6 +655,12 @@ func (s *Server) onLearn(payload []byte) {
 		if _, ok := s.chosen[inst]; !ok {
 			s.chosen[inst] = append([]byte(nil), pl...)
 			s.c.obs.PaxosChosen(s.id, int64(s.c.Sim.Now()), inst, trace.ID(pl))
+			if s.lstore != nil {
+				s.lstore.AppendEntry(inst, 0, s.chosen[inst], nil)
+			}
+			if inst < s.preCrashDelivered {
+				s.c.FabricRecoveryBytes += int64(len(pl))
+			}
 		}
 		off += 12 + ln
 	}
@@ -552,14 +670,34 @@ func (s *Server) onLearn(payload []byte) {
 // Node returns replica i's transport endpoint.
 func (c *Cluster) Node(i int) *tcpnet.Node { return c.Servers[i].node }
 
-// Crash fail-stops replica i.
-func (c *Cluster) Crash(i int) { c.Servers[i].node.Crash() }
+// Crash fail-stops replica i. In durable mode the device's volatile write
+// cache is dropped too (only fsynced bytes survive, modulo an armed torn
+// write).
+func (c *Cluster) Crash(i int) {
+	s := c.Servers[i]
+	s.preCrashDelivered = s.delivered
+	s.node.Crash()
+	if s.dev != nil {
+		s.dev.Crash(c.Sim.Rand())
+	}
+}
 
-// Restart recovers a crashed replica as a non-leading
-// acceptor/learner. Acceptor state (promised, accepted) survives, the
-// proposer role does not: clients fail over to a live proposer. The
-// learner closes the instance gap its downtime opened by asking peers
-// for chosen values from its delivery frontier, then re-arms failover.
+// Restart recovers a crashed replica as a non-leading acceptor/learner.
+// The volatile/durable contract:
+//
+//   - Volatile mode (no SetDisks): this model treats the acceptor state
+//     (promised, accepted) and learner state (chosen, delivered) as
+//     surviving the crash in memory — an idealized always-synced stable
+//     store. The proposer role never survives: clients fail over.
+//   - Durable mode (SetDisks): memory is authoritative for nothing. The
+//     acceptor's promise and accepted values and the learner's chosen
+//     values and delivery frontier are rebuilt from the device's
+//     checksummed logs (replay stops at the first torn or corrupt record);
+//     anything lost is refetched from peers.
+//
+// Either way the learner closes the instance gap its downtime opened by
+// asking peers for chosen values from its delivery frontier, then re-arms
+// failover.
 func (c *Cluster) Restart(i int) {
 	s := c.Servers[i]
 	if !s.node.Crashed() {
@@ -573,6 +711,88 @@ func (c *Cluster) Restart(i int) {
 	s.promises = make(map[int][]byte)
 	s.seenIDs = make(map[uint64]bool)
 	s.lastPing = c.Sim.Now()
+	if s.astore != nil {
+		s.restartDurable()
+		return
+	}
+	s.broadcast(enc(mLearnReq, 0, s.delivered, s.id, nil))
+	s.armFailover()
+}
+
+// restartDurable rebuilds the replica from its device: recover the
+// acceptor's promise and accepted values, the learner's chosen values and
+// delivery frontier, then catch up from peers and re-arm failover.
+func (s *Server) restartDurable() {
+	now := int64(s.c.Sim.Now())
+	// The learner may re-deliver a stale tail (its frontier metadata lags
+	// delivery): re-arm the observer's delivery base.
+	s.c.obs.NodeRestart(s.id, now)
+	// Wipe every in-memory trace of the pre-crash incarnation.
+	s.promised = 0
+	s.accepted = make(map[uint64]acceptedVal)
+	s.learned = make(map[uint64]map[int]uint64)
+	s.chosen = make(map[uint64][]byte)
+	s.delivered = 0
+	s.ballot = 0
+	s.nextInst = 0
+	s.highestIns = 0
+	s.deliveredIDs = make(map[uint64]bool)
+	// Reopen both logs on the recovered device: the old handles' in-flight
+	// syncs died with the crash (their completion callbacks were dropped by
+	// the device epoch bump), so fresh stores are required.
+	s.astore = disk.NewLogStore(s.dev, paxosAcceptWAL)
+	s.lstore = disk.NewLogStore(s.dev, paxosLearnWAL)
+	arec := disk.RecoverLog(s.dev, paxosAcceptWAL)
+	lrec := disk.RecoverLog(s.dev, paxosLearnWAL)
+	s.c.DiskRecoveredBytes += int64(arec.Bytes) + int64(lrec.Bytes)
+	s.node.Proc.Pause(s.dev.ReadCost(arec.Bytes + lrec.Bytes))
+	if v, ok := arec.Meta[metaPromised]; ok {
+		s.promised = v
+	}
+	am := arec.ByKey()
+	ainsts := make([]uint64, 0, len(am))
+	for inst := range am {
+		ainsts = append(ainsts, inst)
+	}
+	sort.Slice(ainsts, func(i, j int) bool { return ainsts[i] < ainsts[j] })
+	for _, inst := range ainsts {
+		e := am[inst]
+		s.accepted[inst] = acceptedVal{ballot: e.Term, payload: append([]byte(nil), e.Data...)}
+	}
+	lm := lrec.ByKey()
+	linsts := make([]uint64, 0, len(lm))
+	for inst := range lm {
+		linsts = append(linsts, inst)
+	}
+	sort.Slice(linsts, func(i, j int) bool { return linsts[i] < linsts[j] })
+	for _, inst := range linsts {
+		s.chosen[inst] = append([]byte(nil), lm[inst].Data...)
+	}
+	if v, ok := lrec.Meta[metaDelivered]; ok {
+		s.delivered = v
+	}
+	// Instances below the recovered frontier were delivered pre-crash;
+	// rebuild the dedup set so a client retry cannot open a new instance.
+	for inst := uint64(0); inst < s.delivered; inst++ {
+		if pl, ok := s.chosen[inst]; ok && len(pl) >= 8 {
+			s.deliveredIDs[abcast.MsgID(pl)] = true
+		}
+	}
+	// The recovered "log length" is the contiguous chosen prefix: every
+	// durably delivered instance is durably chosen (persistDelivered syncs
+	// chosen appends before the frontier), so it is at least the frontier.
+	contig := s.delivered
+	for {
+		if _, ok := s.chosen[contig]; !ok {
+			break
+		}
+		contig++
+	}
+	s.c.obs.RecoverDone(s.id, now, contig, s.delivered)
+	// Resume in-order delivery from the recovered frontier (re-delivering
+	// the stale tail the frontier metadata missed), then ask peers for
+	// everything newer.
+	s.deliver()
 	s.broadcast(enc(mLearnReq, 0, s.delivered, s.id, nil))
 	s.armFailover()
 }

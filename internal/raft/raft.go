@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"acuerdo/internal/abcast"
+	"acuerdo/internal/disk"
 	"acuerdo/internal/observe"
 	"acuerdo/internal/simnet"
 	"acuerdo/internal/tcpnet"
@@ -93,6 +94,15 @@ type Server struct {
 	persistBusy bool
 	persistCBs  []func()
 
+	// Durable mode (SetDisks): the WAL holding entries and term/vote/commit
+	// metadata, and the count of log entries already appended to it.
+	dev    *disk.Device
+	store  *disk.LogStore
+	walLen int
+	// preCrashLen is the log length when this server last crashed; entries
+	// re-replicated below it count as recovery bytes over the fabric.
+	preCrashLen int
+
 	// Duplicate suppression across leader changes: ids present in the
 	// local log and ids already applied. A client that retries because
 	// its ack died with the old leader must not get its payload
@@ -119,6 +129,13 @@ type Cluster struct {
 	// OnDeliver observes every applied entry at every replica.
 	OnDeliver func(replica int, index int, payload []byte)
 
+	// FabricRecoveryBytes counts payload bytes re-replicated over the
+	// network to refill restarted servers' pre-crash log positions;
+	// DiskRecoveredBytes counts bytes read back from local disks during
+	// crash recovery (durable mode only).
+	FabricRecoveryBytes int64
+	DiskRecoveredBytes  int64
+
 	obs *observe.Observer
 }
 
@@ -128,6 +145,35 @@ type Cluster struct {
 // applies feed delivery agreement and contiguity. Call before Start; nil
 // detaches (hooks are nil-receiver no-ops).
 func (c *Cluster) SetObserver(o *observe.Observer) { c.obs = o }
+
+// raftWALName is the per-server WAL device file.
+const raftWALName = "raft.wal"
+
+// Metadata keys persisted alongside log entries. Term and vote are synced
+// before a vote reply leaves the server (Raft's durability requirement for
+// election safety); the commit index is synced in the background and is
+// only a recovery hint — a stale value merely re-replays more entries.
+const (
+	metaTerm   = uint8(1)
+	metaVote   = uint8(2) // votedFor+1, so 0 encodes "none"
+	metaCommit = uint8(3)
+)
+
+// SetDisks attaches one simulated disk per server and switches the cluster
+// to durable mode: the fsync-cost model of persist() is replaced by a real
+// checksummed WAL on the device, term/vote/commit metadata are persisted,
+// and Restart recovers from the device instead of trusting memory. Call
+// before Start with exactly N devices; nil keeps the legacy volatile model
+// (which is bit-identical to the pre-disk behavior).
+func (c *Cluster) SetDisks(devs []*disk.Device) {
+	if devs == nil {
+		return
+	}
+	for i, s := range c.Servers {
+		s.dev = devs[i]
+		s.store = disk.NewLogStore(devs[i], raftWALName)
+	}
+}
 
 // NewCluster builds the group.
 func NewCluster(sim *simnet.Sim, net *tcpnet.Net, cfg Config) *Cluster {
@@ -233,11 +279,15 @@ func (s *Server) startElection() {
 	binary.LittleEndian.PutUint32(m[9:], uint32(s.id))
 	binary.LittleEndian.PutUint32(m[13:], uint32(len(s.log)))
 	binary.LittleEndian.PutUint64(m[17:], s.lastLogTerm())
-	for j := range s.out {
-		if j != s.id {
-			s.send(j, m)
+	// The candidate's own term and self-vote must be durable before it
+	// solicits votes (it is counting itself in the quorum).
+	s.persistVoteState(func() {
+		for j := range s.out {
+			if j != s.id {
+				s.send(j, m)
+			}
 		}
-	}
+	})
 }
 
 func (s *Server) maybeStepDown(term uint64) {
@@ -246,6 +296,12 @@ func (s *Server) maybeStepDown(term uint64) {
 		s.role = follower
 		s.votedFor = -1
 		s.resetTimer()
+		if s.store != nil {
+			// Record the term bump; it rides the next group commit. The
+			// sync-before-reply guarantee is enforced where replies leave.
+			s.store.SetMeta(metaTerm, s.term, nil)
+			s.store.SetMeta(metaVote, 0, nil)
+		}
 	}
 }
 
@@ -274,7 +330,14 @@ func (s *Server) handle(m []byte) {
 		if grant {
 			resp[13] = 1
 		}
-		s.send(from, resp)
+		if grant {
+			// The vote must be on stable storage before the reply leaves:
+			// a granted-then-forgotten vote could elect two leaders in one
+			// term after a restart.
+			s.persistVoteState(func() { s.send(from, resp) })
+		} else {
+			s.send(from, resp)
+		}
 	case mVoteResp:
 		term := binary.LittleEndian.Uint64(m[1:])
 		s.maybeStepDown(term)
@@ -432,6 +495,10 @@ func (s *Server) onAppend(m []byte) {
 				if s.persisted > idx {
 					s.persisted = idx
 				}
+				if s.store != nil && s.walLen > idx {
+					s.store.Truncate(uint64(idx), nil)
+					s.walLen = idx
+				}
 				s.log = append(s.log, e)
 				appended = true
 			}
@@ -440,6 +507,9 @@ func (s *Server) onAppend(m []byte) {
 			appended = true
 		}
 		if appended {
+			if idx < s.preCrashLen {
+				s.c.FabricRecoveryBytes += int64(len(e.payload))
+			}
 			s.c.obs.LogAppend(s.id, int64(s.c.Sim.Now()), uint64(idx), e.term, trace.ID(e.payload))
 			if len(e.payload) >= 8 {
 				s.seen[abcast.MsgID(e.payload)] = true
@@ -459,6 +529,7 @@ func (s *Server) onAppend(m []byte) {
 			}
 			s.commit = c
 			s.c.obs.CommitAdvance(s.id, int64(s.c.Sim.Now()), uint64(c))
+			s.persistCommit()
 			s.apply()
 		}
 	}
@@ -493,7 +564,7 @@ func (s *Server) persist(upTo int, done func()) {
 func (s *Server) runPersist() {
 	cbs := s.persistCBs
 	s.persistCBs = nil
-	s.node.Proc.Run(s.c.cfg.FsyncCost, func() {
+	finish := func() {
 		for _, cb := range cbs {
 			cb()
 		}
@@ -501,6 +572,48 @@ func (s *Server) runPersist() {
 			s.runPersist()
 		} else {
 			s.persistBusy = false
+		}
+	}
+	if s.store == nil {
+		s.node.Proc.Run(s.c.cfg.FsyncCost, finish)
+		return
+	}
+	// Durable mode: append the not-yet-walled suffix and group-commit it on
+	// the device. Completion callbacks are dropped by a device crash exactly
+	// like Proc.Run callbacks, so crash semantics match the volatile model.
+	for i := s.walLen; i < len(s.log); i++ {
+		s.store.AppendEntry(uint64(i), s.log[i].term, s.log[i].payload, nil)
+	}
+	s.walLen = len(s.log)
+	s.store.Flush(func(error) { finish() })
+}
+
+// persistVoteState makes the current term and vote durable before done
+// runs. In volatile mode it is immediate (the legacy model never persisted
+// elections — restarts were treated as new nodes with their log prefix).
+func (s *Server) persistVoteState(done func()) {
+	if s.store == nil {
+		done()
+		return
+	}
+	s.store.SetMeta(metaTerm, s.term, nil)
+	s.store.SetMeta(metaVote, uint64(int64(s.votedFor)+1), nil)
+	s.store.Flush(func(error) { done() })
+}
+
+// persistCommit records the commit index in the background and reports the
+// durable commit frontier to the observer once the fsync lands. The write
+// rides the next group commit; entries at or below the frontier are always
+// flushed first (commit only advances past persisted entries).
+func (s *Server) persistCommit() {
+	if s.store == nil {
+		return
+	}
+	n := uint64(s.commit)
+	s.store.SetMeta(metaCommit, n, nil)
+	s.store.Flush(func(err error) {
+		if err == nil {
+			s.c.obs.DurableFrontier(s.id, int64(s.c.Sim.Now()), n)
 		}
 	})
 }
@@ -547,6 +660,7 @@ func (s *Server) advanceCommit() {
 		if n >= s.c.quorum() {
 			s.commit = idx
 			s.c.obs.CommitAdvance(s.id, int64(s.c.Sim.Now()), uint64(idx))
+			s.persistCommit()
 			s.apply()
 			break
 		}
@@ -626,14 +740,30 @@ func (s *Server) propose(payload []byte) {
 // Node returns replica i's transport host (for fault injection).
 func (c *Cluster) Node(i int) *tcpnet.Node { return c.Servers[i].node }
 
-// Crash kills replica i: its process stops and in-flight messages to it
-// are dropped.
-func (c *Cluster) Crash(i int) { c.Servers[i].node.Crash() }
+// Crash kills replica i: its process stops, in-flight messages to it are
+// dropped, and (durable mode) its disk loses the un-fsynced volatile tail.
+func (c *Cluster) Crash(i int) {
+	s := c.Servers[i]
+	s.node.Crash()
+	s.preCrashLen = len(s.log)
+	if s.dev != nil {
+		s.dev.Crash(c.Sim.Rand())
+	}
+}
 
-// Restart recovers a crashed replica as a follower. Entries that were
-// never fsynced are lost (etcd restarts from its WAL); the log prefix the
-// replica applied is retained, and Raft's nextIndex backtracking catches
-// the replica up from the current leader.
+// Restart recovers a crashed replica as a follower.
+//
+// State contract across a restart:
+//   - Volatile mode (no SetDisks): the in-memory log prefix modeled as
+//     fsynced (persisted) SURVIVES — the simulation stands in for etcd's
+//     WAL by trusting memory — while term and votedFor survive only
+//     because memory does; nothing is actually re-read.
+//   - Durable mode: ALL memory is discarded. The log, current term, vote,
+//     and commit index are re-read from the device's checksummed WAL
+//     (torn or corrupt tails drop records), committed entries are
+//     re-applied (re-deliveries ride the checker's restart replay
+//     window), and anything never group-committed is re-fetched from the
+//     leader over the fabric via nextIndex backtracking.
 func (c *Cluster) Restart(i int) {
 	s := c.Servers[i]
 	if !s.node.Crashed() {
@@ -647,6 +777,10 @@ func (c *Cluster) Restart(i int) {
 	// Crash interrupts an in-flight fsync: its callbacks are gone.
 	s.persistBusy = false
 	s.persistCBs = nil
+	if s.store != nil {
+		c.restartDurable(s)
+		return
+	}
 	if s.persisted < s.applied {
 		s.persisted = s.applied
 	}
@@ -662,6 +796,56 @@ func (c *Cluster) Restart(i int) {
 	}
 	s.role = follower
 	s.votes = 0
+	s.lastHeard = c.Sim.Now()
+	s.resetTimer()
+}
+
+// restartDurable rebuilds s entirely from its device: wipe memory, replay
+// the WAL's durable prefix, restore term/vote/commit metadata, re-apply the
+// committed prefix, and rejoin as a follower.
+func (c *Cluster) restartDurable(s *Server) {
+	now := int64(c.Sim.Now())
+	s.log = nil
+	s.commit, s.applied, s.persisted, s.walLen = 0, 0, 0, 0
+	s.term, s.votedFor, s.votes = 0, -1, 0
+	s.seen = make(map[uint64]bool)
+	s.appliedIDs = make(map[uint64]bool)
+	s.role = follower
+	// Reopen the WAL: the old handle's in-flight flush state died with the
+	// device epoch (its completion callbacks will never fire).
+	s.store = disk.NewLogStore(s.dev, raftWALName)
+
+	rec := disk.RecoverLog(s.dev, raftWALName)
+	c.DiskRecoveredBytes += int64(rec.Bytes)
+	s.node.Proc.Pause(s.dev.ReadCost(rec.Bytes))
+	for _, e := range rec.Entries {
+		idx := int(e.Seq)
+		for len(s.log) <= idx {
+			s.log = append(s.log, entry{})
+		}
+		s.log[idx] = entry{term: e.Term, payload: e.Data}
+	}
+	for idx, e := range s.log {
+		c.obs.LogRecover(s.id, now, uint64(idx), e.term, trace.ID(e.payload))
+		if len(e.payload) >= 8 {
+			s.seen[abcast.MsgID(e.payload)] = true
+		}
+	}
+	s.persisted = len(s.log)
+	s.walLen = len(s.log)
+	s.term = rec.Meta[metaTerm]
+	s.votedFor = int(int64(rec.Meta[metaVote])) - 1
+	commit := int(rec.Meta[metaCommit])
+	if commit > len(s.log) {
+		// The commit metadata record survived a tail the entries did not;
+		// trust only what the log can cover.
+		commit = len(s.log)
+	}
+	c.obs.RecoverDone(s.id, now, uint64(len(s.log)), uint64(commit))
+	s.commit = commit
+	// Re-apply the recovered committed prefix (deliveries re-fire; the
+	// abcast checker's replay window absorbs them).
+	s.apply()
 	s.lastHeard = c.Sim.Now()
 	s.resetTimer()
 }

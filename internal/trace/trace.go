@@ -69,6 +69,13 @@ const (
 	// runs emit byte-identical streams to older builds.
 	KInvariant // protocol invariant violated; A=invariant id, B=witness operand
 
+	// Simulated disk (internal/disk). Appended after the observer kind so
+	// every pre-existing kind keeps its value: disk-off runs emit
+	// byte-identical streams to older builds.
+	KDiskWrite // bytes buffered into a device file; A=bytes, B=node
+	KDiskFsync // fsync made bytes durable; A=bytes synced, B=node
+	KDiskFault // disk fault applied (stall/torn/corrupt/full); A=fault id, B=node
+
 	numKinds
 )
 
@@ -103,6 +110,9 @@ var kindNames = [numKinds]string{
 	KLatSpike:    "chaos.lat_spike",
 	KWatchdog:    "chaos.watchdog",
 	KInvariant:   "observe.violation",
+	KDiskWrite:   "disk.write",
+	KDiskFsync:   "disk.fsync",
+	KDiskFault:   "disk.fault",
 }
 
 // KindName returns the stable name of k ("rdma.cqe", "proto.commit", ...).
@@ -144,6 +154,9 @@ var kindCats = [numKinds]string{
 	KLatSpike:    "chaos",
 	KWatchdog:    "chaos",
 	KInvariant:   "observe",
+	KDiskWrite:   "disk",
+	KDiskFsync:   "disk",
+	KDiskFault:   "disk",
 }
 
 // Counter identifies a monotonic per-layer counter.
@@ -188,41 +201,53 @@ const (
 
 	CtrViolations // protocol invariant violations reported by observers
 
+	// Simulated disk (internal/disk).
+	CtrDiskWrites     // write calls buffered by devices
+	CtrDiskWriteBytes // bytes buffered by devices
+	CtrDiskFsyncs     // fsyncs completed by devices
+	CtrDiskFsyncBytes // bytes made durable by fsyncs
+	CtrDiskFaults     // disk faults applied (stall/torn/corrupt/full)
+
 	numCounters
 )
 
 var counterNames = [numCounters]string{
-	CtrSimEvents:    "sim.events",
-	CtrProcTime:     "proc.cpu_ns",
-	CtrDeschedTime:  "proc.desched_ns",
-	CtrPolls:        "proc.polls",
-	CtrPollTime:     "proc.poll_ns",
-	CtrRDMAWrites:   "rdma.writes",
-	CtrRDMAReads:    "rdma.reads",
-	CtrRDMABytes:    "rdma.wire_bytes",
-	CtrRDMAPostTime: "rdma.post_ns",
-	CtrRDMAWireTime: "rdma.wire_ns",
-	CtrCQEs:         "rdma.cqes",
-	CtrSigSkips:     "rdma.sig_skips",
-	CtrTCPMsgs:      "tcp.msgs",
-	CtrTCPBytes:     "tcp.bytes",
-	CtrTCPSendTime:  "tcp.send_ns",
-	CtrTCPWakeups:   "tcp.wakeups",
-	CtrSubmits:      "proto.submits",
-	CtrProposes:     "proto.proposes",
-	CtrAccepts:      "proto.accepts",
-	CtrCommits:      "proto.commits",
-	CtrDelivers:     "proto.delivers",
-	CtrAcks:         "proto.acks",
-	CtrElections:    "proto.elections",
-	CtrChaosActs:    "chaos.actions",
-	CtrLinkCuts:     "chaos.link_cuts",
-	CtrLinkHeals:    "chaos.link_heals",
-	CtrLossDrops:    "chaos.loss_drops",
-	CtrLossDelay:    "chaos.loss_delay_ns",
-	CtrSpikeDelay:   "chaos.spike_delay_ns",
-	CtrWatchdogs:    "chaos.watchdogs",
-	CtrViolations:   "observe.violations",
+	CtrSimEvents:      "sim.events",
+	CtrProcTime:       "proc.cpu_ns",
+	CtrDeschedTime:    "proc.desched_ns",
+	CtrPolls:          "proc.polls",
+	CtrPollTime:       "proc.poll_ns",
+	CtrRDMAWrites:     "rdma.writes",
+	CtrRDMAReads:      "rdma.reads",
+	CtrRDMABytes:      "rdma.wire_bytes",
+	CtrRDMAPostTime:   "rdma.post_ns",
+	CtrRDMAWireTime:   "rdma.wire_ns",
+	CtrCQEs:           "rdma.cqes",
+	CtrSigSkips:       "rdma.sig_skips",
+	CtrTCPMsgs:        "tcp.msgs",
+	CtrTCPBytes:       "tcp.bytes",
+	CtrTCPSendTime:    "tcp.send_ns",
+	CtrTCPWakeups:     "tcp.wakeups",
+	CtrSubmits:        "proto.submits",
+	CtrProposes:       "proto.proposes",
+	CtrAccepts:        "proto.accepts",
+	CtrCommits:        "proto.commits",
+	CtrDelivers:       "proto.delivers",
+	CtrAcks:           "proto.acks",
+	CtrElections:      "proto.elections",
+	CtrChaosActs:      "chaos.actions",
+	CtrLinkCuts:       "chaos.link_cuts",
+	CtrLinkHeals:      "chaos.link_heals",
+	CtrLossDrops:      "chaos.loss_drops",
+	CtrLossDelay:      "chaos.loss_delay_ns",
+	CtrSpikeDelay:     "chaos.spike_delay_ns",
+	CtrWatchdogs:      "chaos.watchdogs",
+	CtrViolations:     "observe.violations",
+	CtrDiskWrites:     "disk.writes",
+	CtrDiskWriteBytes: "disk.write_bytes",
+	CtrDiskFsyncs:     "disk.fsyncs",
+	CtrDiskFsyncBytes: "disk.fsync_bytes",
+	CtrDiskFaults:     "disk.faults",
 }
 
 // NumCounters is the number of defined counters (for iteration).

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"acuerdo/internal/abcast"
+	"acuerdo/internal/disk"
 	"acuerdo/internal/observe"
 	"acuerdo/internal/simnet"
 	"acuerdo/internal/tcpnet"
@@ -111,6 +112,14 @@ type Server struct {
 	persistCBs     []func()
 	persistBusy    bool
 
+	// Durable mode (SetDisks): transaction log on a simulated device, the
+	// count of log entries already written to it, and the log length at the
+	// last crash (for the fabric recovery-bytes tally).
+	dev         *disk.Device
+	store       *disk.LogStore
+	walLen      int
+	preCrashLen int
+
 	votes      map[int]voteT
 	lastPing   simnet.Time
 	pingTimer  *simnet.Timer
@@ -160,6 +169,13 @@ type Cluster struct {
 	pending  map[uint64]func()
 	obs      *observe.Observer
 
+	// FabricRecoveryBytes counts payload bytes re-shipped over the network
+	// to refill restarted servers' pre-crash log positions;
+	// DiskRecoveredBytes counts bytes read back from local transaction logs
+	// during crash recovery (durable mode only).
+	FabricRecoveryBytes int64
+	DiskRecoveredBytes  int64
+
 	// OnDeliver observes every delivery (tests, KV store).
 	OnDeliver func(replica int, zxid uint64, payload []byte)
 }
@@ -205,13 +221,43 @@ func NewCluster(sim *simnet.Sim, net *tcpnet.Net, cfg Config) *Cluster {
 }
 
 // SetObserver attaches the runtime invariant observer (nil detaches). Log
-// appends, truncations, commits, and deliveries report to it; zab's
-// committed prefix is durable across restarts, so no restart hook fires.
+// appends, truncations, commits, and deliveries report to it; in volatile
+// mode zab's committed prefix survives restarts in memory, so no restart
+// hook fires, while durable mode reports LogRecover/RecoverDone during
+// crash recovery and DurableFrontier as commit metadata syncs.
 // Leader uniqueness is deliberately not asserted: fast leader election can
 // produce same-epoch dual winners that the recovery phase (quorum of
 // NEWLEADER acks) resolves, so a becomeLeader transition alone proves
 // nothing. Call before Start.
 func (c *Cluster) SetObserver(o *observe.Observer) { c.obs = o }
+
+// zabWALName is the per-server transaction-log device file.
+const zabWALName = "zab.wal"
+
+// Metadata keys persisted alongside transactions. The epoch rides the next
+// group commit (FLE tolerates a stale epoch: a rejoiner's probe vote is
+// answered with a targeted sync round); the committed frontier is a
+// recovery hint — stale merely means a longer replay.
+const (
+	metaEpoch     = uint8(1)
+	metaCommitted = uint8(2)
+)
+
+// SetDisks attaches one simulated disk per server and switches the ensemble
+// to durable mode: the fsync-cost model of persist() becomes a real
+// checksummed transaction log, the epoch and committed frontier are
+// persisted, and Restart recovers from the device instead of trusting
+// memory. Call before Start with exactly N devices; nil keeps the legacy
+// volatile model (bit-identical to the pre-disk behavior).
+func (c *Cluster) SetDisks(devs []*disk.Device) {
+	if devs == nil {
+		return
+	}
+	for i, s := range c.Servers {
+		s.dev = devs[i]
+		s.store = disk.NewLogStore(devs[i], zabWALName)
+	}
+}
 
 // Start boots every server into election.
 func (c *Cluster) Start() {
@@ -293,7 +339,7 @@ func (s *Server) runPersist() {
 	s.pendingPersist = nil
 	cbs := s.persistCBs
 	s.persistCBs = nil
-	s.node.Proc.Run(s.c.cfg.FsyncCost, func() {
+	finish := func() {
 		for _, cb := range cbs {
 			cb()
 		}
@@ -302,7 +348,41 @@ func (s *Server) runPersist() {
 		} else {
 			s.persistBusy = false
 		}
+	}
+	if s.store == nil {
+		s.node.Proc.Run(s.c.cfg.FsyncCost, finish)
+		return
+	}
+	// Durable mode: write the not-yet-logged suffix (proposals and adopted
+	// DIFF entries alike land in s.log before they reach persist) and
+	// group-commit it on the device.
+	for i := s.walLen; i < len(s.log); i++ {
+		s.store.AppendEntry(uint64(i), s.log[i].zxid, s.log[i].payload, nil)
+	}
+	s.walLen = len(s.log)
+	s.store.Flush(func(error) { finish() })
+}
+
+// persistCommitted records the committed frontier in the background and
+// reports the durable commit frontier to the observer once the fsync lands.
+func (s *Server) persistCommitted() {
+	if s.store == nil {
+		return
+	}
+	n := uint64(s.committed)
+	s.store.SetMeta(metaCommitted, n, nil)
+	s.store.Flush(func(err error) {
+		if err == nil {
+			s.c.obs.DurableFrontier(s.id, int64(s.c.Sim.Now()), n)
+		}
 	})
+}
+
+// persistEpoch records the current epoch; it rides the next group commit.
+func (s *Server) persistEpoch() {
+	if s.store != nil {
+		s.store.SetMeta(metaEpoch, uint64(s.epoch), nil)
+	}
 }
 
 func (s *Server) handle(m []byte) {
@@ -326,6 +406,9 @@ func (s *Server) handle(m []byte) {
 		// while lastZxid tracks the tail.
 		s.lastZxid = zxid
 		s.c.obs.LogAppend(s.id, int64(s.c.Sim.Now()), uint64(len(s.log)-1), zxid, trace.ID(e.payload))
+		if len(s.log)-1 < s.preCrashLen {
+			s.c.FabricRecoveryBytes += int64(len(e.payload))
+		}
 		if len(payload) >= 8 {
 			s.seenIDs[abcast.MsgID(payload)] = true
 		}
@@ -396,6 +479,7 @@ func (s *Server) onAck(zxid uint64) {
 }
 
 func (s *Server) deliverUpTo(zxid uint64) {
+	before := s.committed
 	for s.committed < len(s.log) && s.log[s.committed].zxid <= zxid {
 		e := s.log[s.committed]
 		s.committed++
@@ -420,6 +504,9 @@ func (s *Server) deliverUpTo(zxid uint64) {
 			s.c.toClient[s.id].Send(e.payload[:8])
 		}
 	}
+	if s.committed > before {
+		s.persistCommitted()
+	}
 }
 
 // --- election (leader heartbeats, fast-leader-election flavored voting,
@@ -431,6 +518,7 @@ func (s *Server) startElection() {
 	s.synced = false
 	s.leader = -1
 	s.epoch++
+	s.persistEpoch()
 	s.votes = map[int]voteT{s.id: {s.epoch, s.lastZxid, s.id}}
 	if tr := s.c.Sim.Tracer(); tr != nil {
 		tr.Instant(trace.KElectStart, s.id, int64(s.c.Sim.Now()), int64(s.epoch), 0)
@@ -467,6 +555,7 @@ func (s *Server) onVote(epoch uint32, zxid uint64, candidate, sender int) {
 	}
 	if epoch > s.epoch {
 		s.epoch = epoch
+		s.persistEpoch()
 		s.votes = map[int]voteT{}
 	}
 	v := voteT{epoch, zxid, candidate}
@@ -547,6 +636,7 @@ func (s *Server) onNewLeader(epoch uint32, leaderZxid uint64, payload []byte) {
 		return
 	}
 	s.epoch = epoch
+	s.persistEpoch()
 	s.role = following
 	s.active = false
 	s.synced = false
@@ -561,6 +651,10 @@ func (s *Server) onNewLeader(epoch uint32, leaderZxid uint64, payload []byte) {
 	}
 	s.log = s.log[:s.committed]
 	s.c.obs.LogTruncate(s.id, int64(s.c.Sim.Now()), uint64(s.committed))
+	if s.store != nil && s.walLen > s.committed {
+		s.store.Truncate(uint64(s.committed), nil)
+		s.walLen = s.committed
+	}
 	if len(s.log) > 0 {
 		s.lastZxid = s.log[len(s.log)-1].zxid
 	} else {
@@ -604,6 +698,9 @@ func (s *Server) onSyncDiff(epoch uint32, payload []byte) {
 		if zxid > s.lastZxid {
 			s.log = append(s.log, entry{zxid, pl})
 			s.c.obs.LogAppend(s.id, int64(s.c.Sim.Now()), uint64(len(s.log)-1), zxid, trace.ID(pl))
+			if len(s.log)-1 < s.preCrashLen {
+				s.c.FabricRecoveryBytes += int64(len(pl))
+			}
 			s.lastZxid = zxid
 			if len(pl) >= 8 {
 				s.seenIDs[abcast.MsgID(pl)] = true
@@ -668,13 +765,33 @@ func (s *Server) armElectTimer() {
 func (c *Cluster) Node(i int) *tcpnet.Node { return c.Servers[i].node }
 
 // Crash fail-stops replica i: its queued work and timers die, in-flight
-// messages to it are dropped, and peers see silence.
-func (c *Cluster) Crash(i int) { c.Servers[i].node.Crash() }
+// messages to it are dropped, and peers see silence. In durable mode the
+// device's volatile write cache is dropped too (only fsynced bytes survive,
+// modulo an armed torn write).
+func (c *Cluster) Crash(i int) {
+	s := c.Servers[i]
+	s.preCrashLen = len(s.log)
+	s.node.Crash()
+	if s.dev != nil {
+		s.dev.Crash(c.Sim.Rand())
+	}
+}
 
-// Restart recovers a crashed replica. Persistent state (epoch, log,
-// committed prefix) survives; the volatile fsync machinery is reset and
-// the replica rejoins by probing with votes — an established leader
-// answers with a targeted sync round instead of a full re-election.
+// Restart recovers a crashed replica. The volatile/durable contract:
+//
+//   - Volatile mode (no SetDisks): this model treats all of zab's nominally
+//     persistent state (epoch, log, committed prefix) as surviving the crash
+//     in memory — an idealized always-synced transaction log. Only the
+//     in-flight fsync machinery is reset.
+//   - Durable mode (SetDisks): memory is authoritative for nothing. Every
+//     field is discarded and rebuilt from the device: the checksummed WAL
+//     prefix (replay stops at the first torn or corrupt record), the epoch
+//     and committed-frontier metadata, and the dedup sets derived from the
+//     recovered entries. The lost tail is refetched from the leader's DIFF
+//     over the fabric.
+//
+// Either way the replica rejoins by probing with votes — an established
+// leader answers with a targeted sync round instead of a full re-election.
 func (c *Cluster) Restart(i int) {
 	s := c.Servers[i]
 	if !s.node.Crashed() {
@@ -684,6 +801,88 @@ func (c *Cluster) Restart(i int) {
 	s.persistBusy = false
 	s.persistCBs = nil
 	s.pendingPersist = nil
+	if s.store != nil {
+		s.restartDurable()
+		return
+	}
+	s.startElection()
+}
+
+// restartDurable rebuilds the replica from its device: recover the WAL
+// prefix, restore metadata, re-derive dedup state, replay the committed
+// prefix to the application, and rejoin via election.
+func (s *Server) restartDurable() {
+	now := int64(s.c.Sim.Now())
+	// Unlike the volatile path (whose committed prefix survives in memory),
+	// the durable path re-delivers from position zero: re-arm the observer's
+	// delivery and commit bases.
+	s.c.obs.NodeRestart(s.id, now)
+	// Wipe every in-memory trace of the pre-crash incarnation.
+	s.role = looking
+	s.active = false
+	s.synced = false
+	s.leader = -1
+	s.epoch = 0
+	s.counter = 0
+	s.lastZxid = 0
+	s.log = nil
+	s.committed = 0
+	s.acks = make(map[uint64]int)
+	s.nlAcked = make(map[int]bool)
+	s.seenIDs = make(map[uint64]bool)
+	s.deliveredIDs = make(map[uint64]bool)
+	s.votes = make(map[int]voteT)
+	// Reopen the log on the recovered device: the old handle's in-flight
+	// sync died with the crash (its completion callback was dropped by the
+	// device epoch bump), so a fresh store is required.
+	s.store = disk.NewLogStore(s.dev, zabWALName)
+	rec := disk.RecoverLog(s.dev, zabWALName)
+	s.c.DiskRecoveredBytes += int64(rec.Bytes)
+	s.node.Proc.Pause(s.dev.ReadCost(rec.Bytes))
+	// Entries were appended with seq = log index; truncation records drop
+	// suffixes, so rebuilding positionally yields the surviving prefix.
+	for _, e := range rec.Entries {
+		idx := int(e.Seq)
+		for len(s.log) <= idx {
+			s.log = append(s.log, entry{})
+		}
+		s.log[idx] = entry{zxid: e.Term, payload: append([]byte(nil), e.Data...)}
+	}
+	for i, e := range s.log {
+		s.c.obs.LogRecover(s.id, now, uint64(i), e.zxid, trace.ID(e.payload))
+		if len(e.payload) >= 8 {
+			s.seenIDs[abcast.MsgID(e.payload)] = true
+		}
+		s.lastZxid = e.zxid
+	}
+	s.walLen = len(s.log)
+	if v, ok := rec.Meta[metaEpoch]; ok {
+		s.epoch = uint32(v)
+	}
+	committed := 0
+	if v, ok := rec.Meta[metaCommitted]; ok {
+		committed = int(v)
+	}
+	if committed > len(s.log) {
+		// The commit meta outran the surviving log prefix (torn tail): only
+		// what is actually on disk can be replayed; the rest is refetched.
+		committed = len(s.log)
+	}
+	s.c.obs.RecoverDone(s.id, now, uint64(len(s.log)), uint64(committed))
+	// Replay the committed prefix to the application. Deliberately not
+	// deliverUpTo: that path reports CommitAdvance, which after RecoverDone
+	// (commit frontier already at `committed`) would look like a regression.
+	for s.committed < committed {
+		e := s.log[s.committed]
+		s.committed++
+		s.c.obs.Deliver(s.id, now, uint64(s.committed-1), trace.ID(e.payload))
+		if len(e.payload) >= 8 {
+			s.deliveredIDs[abcast.MsgID(e.payload)] = true
+		}
+		if s.c.OnDeliver != nil {
+			s.c.OnDeliver(s.id, e.zxid, e.payload)
+		}
+	}
 	s.startElection()
 }
 
