@@ -1,8 +1,8 @@
 // Command bench-compare diffs two benchmark JSON artifacts and exits
-// non-zero on a regression. It understands both artifact kinds — sweep
-// files written by abcast-bench -json and chaos files written by
-// chaos-bench -json — sniffing the kind from the file and requiring the
-// baseline to match. Deterministic fields (committed counts, simulated
+// non-zero on a regression. It understands all three artifact kinds —
+// sweep files written by abcast-bench -json, chaos files written by
+// chaos-bench -json, and placement files written by ycsb-bench -pgs -json
+// — sniffing the kind from the file and requiring the baseline to match. Deterministic fields (committed counts, simulated
 // time, throughput, latency quantiles, trace fingerprints, MTTR, observer
 // digests) must match exactly; wall-clock is compared only within
 // -wall-tolerance, and a negative tolerance skips it entirely — use that
@@ -47,6 +47,24 @@ func main() {
 	if baseKind != curKind {
 		fmt.Fprintf(os.Stderr, "bench-compare: artifact kinds differ: baseline %q, current %q\n", baseKind, curKind)
 		os.Exit(2)
+	}
+	if baseKind == bench.PlacementArtifactKind {
+		base, err := bench.ReadPlacementFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := bench.ReadPlacementFile(*current)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+			os.Exit(2)
+		}
+		if err := bench.ComparePlacementBaseline(cur, base, *wallTol); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-compare: REGRESSION: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench-compare: %d placement points match baseline %s\n", len(cur.Points), *baseline)
+		return
 	}
 	if baseKind == bench.ChaosArtifactKind {
 		base, err := bench.ReadChaosFile(*baseline)

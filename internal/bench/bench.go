@@ -108,6 +108,11 @@ type Instance struct {
 	// instances and on systems with no durable mode.
 	diskRecovered  func() int64
 	fabricRecovery func() int64
+
+	// sharedInterconnect marks instances built on Options.SharedFabric or
+	// Options.SharedNet: Close must not release an interconnect other
+	// instances still run on (the owner releases it once).
+	sharedInterconnect bool
 }
 
 // DiskRecoveredBytes sums bytes read back from local disks during crash
@@ -143,9 +148,11 @@ func (inst *Instance) DurableDigest() uint64 {
 // to their process-wide free lists. The instance must not be stepped,
 // polled, or measured afterwards. Harnesses that build one instance per
 // point call this between points; leaving an instance unclosed is safe,
-// it just forgoes the reuse.
+// it just forgoes the reuse. Instances on a shared interconnect
+// (Options.SharedFabric) skip the release — the interconnect's owner
+// releases it once, after every instance on it is done.
 func (inst *Instance) Close() {
-	if inst.Fabric != nil {
+	if inst.Fabric != nil && !inst.sharedInterconnect {
 		inst.Fabric.Release()
 	}
 }
@@ -173,6 +180,21 @@ type Options struct {
 	Durability Durability
 	// DiskParams overrides the device model (nil = disk.DefaultParams).
 	DiskParams *disk.Params
+	// SharedFabric, when non-nil, hosts the instance on an existing RDMA
+	// fabric instead of a private one, so many instances — one broadcast
+	// ring per placement group — contend on one interconnect. Ignored by
+	// the TCP-based systems (etcd, zookeeper, libpaxos).
+	SharedFabric *rdma.Fabric
+	// SharedNet is SharedFabric's counterpart for the TCP-based systems;
+	// ignored by the RDMA-based ones.
+	SharedNet *tcpnet.Net
+	// ReplicaProcs, when non-nil, backs the instance's replica nodes with
+	// these pre-created CPUs (in replica order) instead of fresh per-node
+	// ones: replica i runs on ReplicaProcs[i]. The placement layer passes
+	// each group's fleet-node CPUs here, so co-located replicas of
+	// different groups time-share a core. Must have exactly n entries.
+	// Client nodes always get their own CPUs.
+	ReplicaProcs []*simnet.Proc
 }
 
 // NewInstance builds, starts, and warms up (leader elected) one system.
@@ -189,6 +211,33 @@ func NewInstance(kind Kind, n int, seed int64, opt Options) *Instance {
 	return inst
 }
 
+// fabricFor returns the RDMA interconnect an instance should build on —
+// the shared one when the placement layer provides it, a private one
+// otherwise — with any queued replica CPUs installed for the cluster's
+// upcoming AddNode calls.
+func fabricFor(sim *simnet.Sim, opt Options) *rdma.Fabric {
+	f := opt.SharedFabric
+	if f == nil {
+		f = rdma.NewFabric(sim, rdma.DefaultParams())
+	}
+	if opt.ReplicaProcs != nil {
+		f.ProvideProcs(opt.ReplicaProcs)
+	}
+	return f
+}
+
+// netFor is fabricFor's counterpart for the TCP-based systems.
+func netFor(sim *simnet.Sim, opt Options) *tcpnet.Net {
+	nt := opt.SharedNet
+	if nt == nil {
+		nt = tcpnet.New(sim, tcpnet.DefaultParams())
+	}
+	if opt.ReplicaProcs != nil {
+		nt.ProvideProcs(opt.ReplicaProcs)
+	}
+	return nt
+}
+
 // NewInstanceOn builds and starts one system on an existing simulator without
 // warming it up. The seed-replay harness uses this to construct the same
 // system twice on two identically seeded simulators.
@@ -197,6 +246,7 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 		sim.SetTracer(opt.Tracer)
 	}
 	inst := &Instance{Sim: sim, N: n}
+	inst.sharedInterconnect = opt.SharedFabric != nil || opt.SharedNet != nil
 	// newDisks builds the per-replica devices for non-volatile modes; the
 	// caller attaches them only on systems with a durable path.
 	newDisks := func() []*disk.Device {
@@ -215,7 +265,7 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 	}
 	switch kind {
 	case Acuerdo:
-		fabric := rdma.NewFabric(sim, rdma.DefaultParams())
+		fabric := fabricFor(sim, opt)
 		cfg := acuerdo.DefaultClusterConfig(n)
 		if opt.AcuerdoConfig != nil {
 			cfg.Replica = *opt.AcuerdoConfig
@@ -244,7 +294,7 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 			}
 		}
 	case DerechoLeader, DerechoAll:
-		fabric := rdma.NewFabric(sim, rdma.DefaultParams())
+		fabric := fabricFor(sim, opt)
 		mode := derecho.LeaderMode
 		if kind == DerechoAll {
 			mode = derecho.AllMode
@@ -266,7 +316,7 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 			}
 		}
 	case Apus:
-		fabric := rdma.NewFabric(sim, rdma.DefaultParams())
+		fabric := fabricFor(sim, opt)
 		c := apus.NewCluster(sim, fabric, apus.DefaultConfig(n))
 		c.SetObserver(opt.Observer)
 		c.Start()
@@ -283,7 +333,7 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 			}
 		}
 	case Libpaxos:
-		net := tcpnet.New(sim, tcpnet.DefaultParams())
+		net := netFor(sim, opt)
 		c := paxos.NewCluster(sim, net, paxos.DefaultConfig(n))
 		c.SetObserver(opt.Observer)
 		if devs := newDisks(); devs != nil {
@@ -306,7 +356,7 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 			}
 		}
 	case Zookeeper:
-		net := tcpnet.New(sim, tcpnet.DefaultParams())
+		net := netFor(sim, opt)
 		c := zab.NewCluster(sim, net, zab.DefaultConfig(n))
 		c.SetObserver(opt.Observer)
 		if devs := newDisks(); devs != nil {
@@ -329,7 +379,7 @@ func NewInstanceOn(sim *simnet.Sim, kind Kind, n int, opt Options) *Instance {
 			}
 		}
 	case Etcd:
-		net := tcpnet.New(sim, tcpnet.DefaultParams())
+		net := netFor(sim, opt)
 		c := raft.NewCluster(sim, net, raft.DefaultConfig(n))
 		c.SetObserver(opt.Observer)
 		if devs := newDisks(); devs != nil {

@@ -1,0 +1,635 @@
+// Sharded multi-group harness: one simulation hosting a whole placement
+// map's worth of broadcast rings (internal/placement) on a shared
+// interconnect and a shared fleet of CPUs, driven by per-group YCSB load.
+// This is the scale-out experiment of ROADMAP item 1: per-ring throughput
+// is fully characterized by Figure 8/9, so aggregate capacity must come
+// from many groups — and it only scales until the co-located replicas
+// saturate the fleet's cores.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"acuerdo/internal/abcast"
+	"acuerdo/internal/chaos"
+	"acuerdo/internal/kvstore"
+	"acuerdo/internal/metrics"
+	"acuerdo/internal/observe"
+	"acuerdo/internal/placement"
+	"acuerdo/internal/rdma"
+	"acuerdo/internal/simnet"
+	"acuerdo/internal/sweep"
+	"acuerdo/internal/tcpnet"
+	"acuerdo/internal/trace"
+	"acuerdo/internal/ycsb"
+)
+
+// fleetProcBase offsets fleet CPU ids far above any interconnect node id so
+// trace thread names never collide with per-ring node processes.
+const fleetProcBase = 1 << 20
+
+// PlacementConfig parameterizes one multi-group YCSB run.
+type PlacementConfig struct {
+	// Kind selects which of the seven systems every group's ring runs.
+	Kind Kind
+	// Placement is the map configuration (PG count, group size, fleet,
+	// failure domains, placement seed).
+	Placement placement.Config
+	// WindowPerPG is each group's closed-loop client window, so offered
+	// load grows with the PG count.
+	WindowPerPG int
+	// Records is the keyspace size shared by all groups; keys route to
+	// groups by placement.Map.KeyPG.
+	Records uint64
+	// Value is the value payload per write.
+	Value int
+	// Warmup and Measure are the simulated load phases.
+	Warmup  time.Duration
+	Measure time.Duration
+	// Seed seeds the one shared simulator; every group's workload derives
+	// a private stream from it.
+	Seed int64
+	// Observe attaches one runtime invariant observer per group. A
+	// fault-free multi-group run must check clean in every group.
+	Observe bool
+}
+
+// DefaultPlacement returns the calibrated scale-out configuration for pgs
+// groups of kind rings over the default twelve-node fleet.
+func DefaultPlacement(kind Kind, pgs int) PlacementConfig {
+	return PlacementConfig{
+		Kind:        kind,
+		Placement:   placement.DefaultConfig(pgs),
+		WindowPerPG: 16,
+		Records:     10000,
+		Value:       100,
+		Warmup:      4 * time.Millisecond,
+		Measure:     15 * time.Millisecond,
+		Seed:        1,
+	}
+}
+
+// PlacementWorld is one booted multi-group simulation: every group's ring
+// started on a shared interconnect, with co-located replicas time-sharing
+// the fleet's CPUs.
+type PlacementWorld struct {
+	Sim    *simnet.Sim
+	Tracer *trace.Tracer
+	Map    *placement.Map
+	// Insts holds one started instance per group, in PG-ID order;
+	// Observers is parallel to it (nil entries when observation is off).
+	Insts     []*Instance
+	Observers []*observe.Observer
+	// FleetProcs are the shared CPUs, one per fleet node; group replicas
+	// run on the proc of the fleet node the map placed them on.
+	FleetProcs []*simnet.Proc
+	// Fabric/Net is the shared interconnect; exactly one is non-nil,
+	// matching the system class (RDMA vs TCP).
+	Fabric *rdma.Fabric
+	Net    *tcpnet.Net
+}
+
+// NewPlacementWorld builds and starts every group of m as a kind ring on
+// one simulator seeded with seed. Groups are constructed in PG-ID order,
+// each with its members' fleet CPUs pre-provided to the interconnect, so
+// the whole world is a pure function of (kind, m, seed, withObservers).
+func NewPlacementWorld(kind Kind, m *placement.Map, seed int64, withObservers bool) *PlacementWorld {
+	sim := simnet.New(seed)
+	tr := trace.New(1 << 14)
+	sim.SetTracer(tr)
+	w := &PlacementWorld{Sim: sim, Tracer: tr, Map: m}
+	w.FleetProcs = make([]*simnet.Proc, m.Config.Fleet)
+	for k := range w.FleetProcs {
+		w.FleetProcs[k] = simnet.NewProc(sim, fleetProcBase+k, fmt.Sprintf("fleet%d", k))
+	}
+	var opt Options
+	switch kind {
+	case Acuerdo, DerechoLeader, DerechoAll, Apus:
+		w.Fabric = rdma.NewFabric(sim, rdma.DefaultParams())
+		opt.SharedFabric = w.Fabric
+	default:
+		w.Net = tcpnet.New(sim, tcpnet.DefaultParams())
+		opt.SharedNet = w.Net
+	}
+	for _, g := range m.Groups {
+		procs := make([]*simnet.Proc, len(g.Members))
+		for i, n := range g.Members {
+			procs[i] = w.FleetProcs[n]
+		}
+		o := opt
+		o.ReplicaProcs = procs
+		var obs *observe.Observer
+		if withObservers {
+			obs = NewObserver(sim, kind, m.Config.PGSize)
+			o.Observer = obs
+		}
+		w.Observers = append(w.Observers, obs)
+		w.Insts = append(w.Insts, NewInstanceOn(sim, kind, m.Config.PGSize, o))
+	}
+	return w
+}
+
+// Ready reports whether every group's ring has a serving leader.
+func (w *PlacementWorld) Ready() bool {
+	for _, inst := range w.Insts {
+		if !inst.Sys.Ready() {
+			return false
+		}
+	}
+	return true
+}
+
+// WarmUp runs the simulation until every group is ready, panicking if any
+// group never elects (mirroring NewInstance's single-ring warmup).
+func (w *PlacementWorld) WarmUp() {
+	for i := 0; i < 400 && !w.Ready(); i++ {
+		w.Sim.RunFor(5 * time.Millisecond)
+	}
+	if !w.Ready() {
+		for pg, inst := range w.Insts {
+			if !inst.Sys.Ready() {
+				panic(fmt.Sprintf("placement: pg %d (%s on fleet %v) never became ready",
+					pg, inst.Sys.Name(), w.Map.Groups[pg].Members))
+			}
+		}
+	}
+}
+
+// Close releases the shared interconnect's pooled resources once, after
+// every group is done (per-instance Close skips shared interconnects).
+func (w *PlacementWorld) Close() {
+	if w.Fabric != nil {
+		w.Fabric.Release()
+	}
+}
+
+// fleetTarget adapts a multi-group world to the chaos engine: node indices
+// are fleet nodes, and every action fans out to the co-located replicas —
+// crashing fleet node k takes down every group replica it hosts, through
+// each ring's own crash path (a shared CPU's crash kills every poll loop
+// on it, so partial crashes would leave sibling replicas as zombies).
+type fleetTarget struct{ w *PlacementWorld }
+
+// ChaosTarget exposes the world's fleet-level fault surface.
+func (w *PlacementWorld) ChaosTarget() chaos.Target { return fleetTarget{w} }
+
+// Replicas reports the fleet size (the chaos plan's node space).
+func (t fleetTarget) Replicas() int { return t.w.Map.Config.Fleet }
+
+// Leader resolves the Leader sentinel to the fleet node currently leading
+// group 0 — the storm's designated victim group.
+func (t fleetTarget) Leader() int {
+	li := t.w.Insts[0].leaderIdx()
+	if li < 0 {
+		return -1
+	}
+	return t.w.Map.Groups[0].Members[li]
+}
+
+// Crash kills fleet node k: every hosted group replica crashes through its
+// own ring's crash path.
+func (t fleetTarget) Crash(k int) {
+	for _, pr := range t.w.Map.HostedOn(k) {
+		t.w.Insts[pr[0]].crash(pr[1])
+	}
+}
+
+// Restart recovers fleet node k: every hosted group replica rejoins
+// through its own ring's recovery path.
+func (t fleetTarget) Restart(k int) {
+	for _, pr := range t.w.Map.HostedOn(k) {
+		t.w.Insts[pr[0]].restart(pr[1])
+	}
+}
+
+// Pause deschedules fleet node k's CPU, stalling every co-located replica
+// at once (they share the core).
+func (t fleetTarget) Pause(k int, d time.Duration) { t.w.FleetProcs[k].Pause(d) }
+
+// eachLink applies f to every intra-group interconnect link between a
+// replica hosted on fleet node i and one hosted on fleet node j. Groups
+// never talk across rings, so these are the only links a fleet-level
+// link fault can touch.
+func (t fleetTarget) eachLink(i, j int, f func(inst *Instance, a, b int)) {
+	for pg, inst := range t.w.Insts {
+		g := t.w.Map.Groups[pg]
+		for ri, ni := range g.Members {
+			if ni != i {
+				continue
+			}
+			for rj, nj := range g.Members {
+				if nj != j || rj == ri {
+					continue
+				}
+				f(inst, inst.nodeID(ri), inst.nodeID(rj))
+			}
+		}
+	}
+}
+
+// CutOneWay drops the i→j direction of every co-hosted intra-group link.
+func (t fleetTarget) CutOneWay(i, j int) {
+	t.eachLink(i, j, func(inst *Instance, a, b int) {
+		if inst.Fabric != nil {
+			inst.Fabric.PartitionOneWay(a, b)
+		} else {
+			inst.Net.PartitionOneWay(a, b)
+		}
+	})
+}
+
+// HealOneWay restores the i→j direction cut by CutOneWay.
+func (t fleetTarget) HealOneWay(i, j int) {
+	t.eachLink(i, j, func(inst *Instance, a, b int) {
+		if inst.Fabric != nil {
+			inst.Fabric.HealOneWay(a, b)
+		} else {
+			inst.Net.HealOneWay(a, b)
+		}
+	})
+}
+
+// SetLoss installs/clears loss on every co-hosted intra-group link.
+func (t fleetTarget) SetLoss(i, j int, p float64) {
+	t.eachLink(i, j, func(inst *Instance, a, b int) {
+		if inst.Fabric != nil {
+			inst.Fabric.SetLoss(a, b, p)
+		} else {
+			inst.Net.SetLoss(a, b, p)
+		}
+	})
+}
+
+// SetLatencySpike installs/clears extra latency on every co-hosted
+// intra-group link.
+func (t fleetTarget) SetLatencySpike(i, j int, d time.Duration) {
+	t.eachLink(i, j, func(inst *Instance, a, b int) {
+		if inst.Fabric != nil {
+			inst.Fabric.SetLatencySpike(a, b, d)
+		} else {
+			inst.Net.SetLatencySpike(a, b, d)
+		}
+	})
+}
+
+// DiskStall is a no-op: placement worlds run the volatile storage model.
+func (t fleetTarget) DiskStall(i int, d time.Duration) {}
+
+// DiskTorn is a no-op: placement worlds run the volatile storage model.
+func (t fleetTarget) DiskTorn(i int) {}
+
+// DiskCorrupt is a no-op: placement worlds run the volatile storage model.
+func (t fleetTarget) DiskCorrupt(i int) {}
+
+// DiskFull is a no-op: placement worlds run the volatile storage model.
+func (t fleetTarget) DiskFull(i int, on bool) {}
+
+var _ chaos.Target = fleetTarget{}
+
+// PGResult is one group's share of a multi-group run.
+type PGResult struct {
+	// PG, Leader, and Members echo the group's slot in the map.
+	PG      int
+	Leader  int
+	Members []int
+	// Committed and OpsPerSec are the group's measured YCSB throughput;
+	// Latency its commit-latency distribution.
+	Committed int
+	OpsPerSec float64
+	Latency   metrics.Histogram
+	// DeliveryFP folds every replica's delivery sequence; two same-seed
+	// runs must match per group, not just in aggregate.
+	DeliveryFP uint64
+	// SafetyErr is the group's first atomic-broadcast violation, if any.
+	SafetyErr error
+	// Violations/ObserveChecks/ObserveDigest carry the group's observer
+	// verdict when the run was observed; zero otherwise.
+	Violations    int64
+	ObserveChecks uint64
+	ObserveDigest uint64
+}
+
+// PlacementResult is one multi-group run: per-group shares plus the
+// aggregate the scale-out figure plots.
+type PlacementResult struct {
+	System string
+	Config PlacementConfig
+	// Groups holds one result per PG, in PG-ID order.
+	Groups []PGResult
+	// Committed and OpsPerSec aggregate every group's measured load;
+	// Latency merges every group's samples; Elapsed is the measured
+	// simulated interval.
+	Committed int
+	OpsPerSec float64
+	Latency   metrics.Histogram
+	Elapsed   time.Duration
+	// MapFP is the placement map's fingerprint; TraceFP/TraceEvents the
+	// shared simulation's event-stream fingerprint; Fingerprint folds the
+	// map, every group's delivery and observer digests, and the trace into
+	// one seed-replay digest.
+	MapFP       uint64
+	TraceFP     uint64
+	TraceEvents uint64
+	Fingerprint uint64
+}
+
+// foldFP mixes v into h byte by byte with the FNV-1a prime (the repo's
+// standard digest fold).
+func foldFP(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 0x100000001b3
+		v >>= 8
+	}
+	return h
+}
+
+// pgWorkload is one group's YCSB-load stream: zipfian popularity over the
+// group's own key shard. Shard membership comes from the placement map's
+// key routing, so every key a group's client writes belongs to that group;
+// the shard's keys are already hash-scattered over the keyspace, which is
+// what YCSB's scrambled-zipfian otherwise provides.
+type pgWorkload struct {
+	keys  []string
+	zipf  *ycsb.Zipfian
+	rng   *rand.Rand
+	value int
+}
+
+// newPGWorkloads shards the keyspace by the map's routing and builds one
+// zipfian stream per group, each seeded from (seed, pg).
+func newPGWorkloads(m *placement.Map, records uint64, value int, seed int64) []*pgWorkload {
+	shards := make([][]string, m.Config.PGs)
+	for i := uint64(0); i < records; i++ {
+		key := fmt.Sprintf("user%016d", i)
+		pg := m.KeyPG(key)
+		shards[pg] = append(shards[pg], key)
+	}
+	out := make([]*pgWorkload, m.Config.PGs)
+	for pg, keys := range shards {
+		if len(keys) == 0 {
+			panic(fmt.Sprintf("placement: pg %d owns no keys — raise Records above ~20x the PG count", pg))
+		}
+		out[pg] = &pgWorkload{
+			keys:  keys,
+			zipf:  ycsb.NewZipfian(uint64(len(keys)), 0.99),
+			rng:   rand.New(rand.NewSource(seed + 1000003*int64(pg+1))),
+			value: value,
+		}
+	}
+	return out
+}
+
+// nextOp draws the group's next write.
+func (w *pgWorkload) nextOp() (string, []byte) {
+	key := w.keys[w.zipf.Next(w.rng)%uint64(len(w.keys))]
+	value := make([]byte, w.value)
+	w.rng.Read(value)
+	return key, value
+}
+
+// RunPlacementLoad drives per-group closed-loop YCSB load over an
+// already-warm world and returns the measured result. Safety violations
+// and observer verdicts are recorded in the result, not raised — callers
+// running fault schedules (the chaos smoke tests) inspect them; the
+// fault-free figure path (RunPlacementYCSB) panics on any.
+func RunPlacementLoad(w *PlacementWorld, cfg PlacementConfig) PlacementResult {
+	m := w.Map
+	res := PlacementResult{
+		System: w.Insts[0].Sys.Name(),
+		Config: cfg,
+		Groups: make([]PGResult, m.Config.PGs),
+		MapFP:  m.Fingerprint(),
+	}
+	loads := newPGWorkloads(m, cfg.Records, cfg.Value, cfg.Seed)
+	checkers := make([]*abcast.Checker, m.Config.PGs)
+	measuring := false
+	sim := w.Sim
+
+	for pg := range w.Insts {
+		inst := w.Insts[pg]
+		g := m.Groups[pg]
+		pr := &res.Groups[pg]
+		pr.PG, pr.Leader = g.ID, g.Leader
+		pr.Members = append([]int(nil), g.Members...)
+
+		rm := kvstore.NewReplicated(inst.Sys, m.Config.PGSize)
+		checker := abcast.NewChecker(m.Config.PGSize)
+		checkers[pg] = checker
+		inst.setApply(func(replica int, payload []byte) {
+			if err := rm.ApplyAt(replica, payload); err != nil {
+				panic(fmt.Sprintf("placement: pg %d delivered a bad op: %v", pg, err))
+			}
+			if err := checker.OnDeliver(replica, abcast.MsgID(payload)); err != nil && pr.SafetyErr == nil {
+				pr.SafetyErr = err
+			}
+		})
+		// Crashed replicas re-deliver their recovered prefix on restart;
+		// tell the checker so the retrace is absorbed, exactly as the
+		// single-ring chaos harness does.
+		baseRestart := inst.restart
+		inst.restart = func(i int) {
+			checker.NodeRestart(i)
+			baseRestart(i)
+		}
+
+		load := loads[pg]
+		// nextID shadows kvstore.Replicated's op-ID counter (both advance
+		// by one per Set), so broadcasts register with the checker under
+		// the ID the delivered payload will carry.
+		var nextID uint64
+		var submit func()
+		submit = func() {
+			if !inst.Sys.Ready() {
+				sim.After(time.Millisecond, submit)
+				return
+			}
+			key, value := load.nextOp()
+			nextID++
+			checker.OnBroadcast(nextID)
+			sent := sim.Now()
+			rm.Set(key, value, func() {
+				if measuring {
+					pr.Committed++
+					pr.Latency.Add(sim.Now().Sub(sent))
+				}
+				submit()
+			})
+		}
+		for i := 0; i < cfg.WindowPerPG; i++ {
+			submit()
+		}
+	}
+
+	sim.RunFor(cfg.Warmup)
+	measuring = true
+	start := sim.Now()
+	sim.RunFor(cfg.Measure)
+	measuring = false
+	res.Elapsed = sim.Now().Sub(start)
+
+	fp := uint64(0xcbf29ce484222325)
+	fp = foldFP(fp, res.MapFP)
+	for pg := range res.Groups {
+		pr := &res.Groups[pg]
+		pr.OpsPerSec = metrics.Throughput(pr.Committed, res.Elapsed)
+		if pr.SafetyErr == nil {
+			pr.SafetyErr = checkers[pg].CheckTotalOrder()
+		}
+		d := uint64(0xcbf29ce484222325)
+		for node := 0; node < m.Config.PGSize; node++ {
+			seq := checkers[pg].Delivered(node)
+			d = foldFP(d, uint64(len(seq)))
+			for _, id := range seq {
+				d = foldFP(d, id)
+			}
+		}
+		pr.DeliveryFP = d
+		if obs := w.Observers[pg]; obs != nil {
+			pr.Violations = obs.ViolationCount()
+			pr.ObserveChecks = obs.Checks()
+			pr.ObserveDigest = obs.Digest()
+		}
+		res.Committed += pr.Committed
+		for _, s := range pr.Latency.Samples() {
+			res.Latency.Add(s)
+		}
+		fp = foldFP(fp, uint64(pr.Committed))
+		fp = foldFP(fp, pr.DeliveryFP)
+		fp = foldFP(fp, pr.ObserveDigest)
+		fp = foldFP(fp, pr.ObserveChecks)
+		fp = foldFP(fp, uint64(pr.Violations))
+	}
+	res.OpsPerSec = metrics.Throughput(res.Committed, res.Elapsed)
+	res.TraceFP = w.Tracer.Fingerprint()
+	res.TraceEvents = w.Tracer.Emitted()
+	fp = foldFP(fp, uint64(res.Committed))
+	fp = foldFP(fp, uint64(res.Elapsed))
+	fp = foldFP(fp, res.TraceFP)
+	fp = foldFP(fp, res.TraceEvents)
+	res.Fingerprint = fp
+	return res
+}
+
+// RunPlacementYCSB is the scale-out figure's unit of work: build the map,
+// boot every group in one simulation, warm them all up, and measure
+// per-group YCSB load. The run is fault-free, so any safety violation or
+// observer finding is a protocol bug and panics with the witness.
+func RunPlacementYCSB(cfg PlacementConfig) PlacementResult {
+	m, err := placement.Build(cfg.Placement)
+	if err != nil {
+		panic("placement: " + err.Error())
+	}
+	w := NewPlacementWorld(cfg.Kind, m, cfg.Seed, cfg.Observe)
+	defer w.Close()
+	w.WarmUp()
+	res := RunPlacementLoad(w, cfg)
+	for pg := range res.Groups {
+		pr := &res.Groups[pg]
+		if pr.SafetyErr != nil {
+			panic(fmt.Sprintf("placement: pg %d violated safety under fault-free load: %v", pg, pr.SafetyErr))
+		}
+		if pr.Violations > 0 {
+			panic(fmt.Sprintf("placement: pg %d violated invariants under fault-free load:\n%s",
+				pg, w.Observers[pg].Report()))
+		}
+	}
+	return res
+}
+
+// RunPlacementSweep measures one configuration per PG count on a worker
+// pool. Each point is a sealed world — its own simulator seeded only from
+// its config — so the merged results are byte-identical for every worker
+// count, including 1. workers <= 0 selects GOMAXPROCS.
+func RunPlacementSweep(cfgs []PlacementConfig, workers int) ([]PlacementResult, sweep.Report) {
+	return sweep.Run(len(cfgs), workers, func(i int) PlacementResult {
+		return RunPlacementYCSB(cfgs[i])
+	})
+}
+
+// VerifyPlacementReplay runs the same configuration `runs` times and fails
+// on the first divergence, checking the per-group digests before the
+// folded fingerprint so the report names the first group that drifted.
+func VerifyPlacementReplay(cfg PlacementConfig, runs int) error {
+	if runs < 2 {
+		return fmt.Errorf("placement: need at least 2 runs to compare, got %d", runs)
+	}
+	var first *PlacementResult
+	for i := 0; i < runs; i++ {
+		run := RunPlacementYCSB(cfg)
+		if first == nil {
+			first = &run
+			continue
+		}
+		for pg := range run.Groups {
+			a, b := &first.Groups[pg], &run.Groups[pg]
+			if a.Committed != b.Committed {
+				return fmt.Errorf("placement replay diverged: pg %d committed %d in run 0 but %d in run %d",
+					pg, a.Committed, b.Committed, i)
+			}
+			if a.DeliveryFP != b.DeliveryFP {
+				return fmt.Errorf("placement replay diverged: pg %d delivery digest %016x in run 0 but %016x in run %d",
+					pg, a.DeliveryFP, b.DeliveryFP, i)
+			}
+			if a.ObserveDigest != b.ObserveDigest || a.ObserveChecks != b.ObserveChecks {
+				return fmt.Errorf("placement replay diverged: pg %d observer digest %016x/%d in run 0 but %016x/%d in run %d",
+					pg, a.ObserveDigest, a.ObserveChecks, b.ObserveDigest, b.ObserveChecks, i)
+			}
+		}
+		if first.TraceFP != run.TraceFP {
+			return fmt.Errorf("placement replay diverged: trace fingerprint %016x in run 0 but %016x in run %d — same deliveries, different event stream",
+				first.TraceFP, run.TraceFP, i)
+		}
+		if first.Fingerprint != run.Fingerprint {
+			return fmt.Errorf("placement replay diverged: fingerprint %016x in run 0 but %016x in run %d",
+				first.Fingerprint, run.Fingerprint, i)
+		}
+	}
+	return nil
+}
+
+// MinPGOps and MaxPGOps return the slowest and fastest group's throughput
+// — the spread the scale-out table reports next to the aggregate.
+func (r *PlacementResult) MinPGOps() float64 {
+	min := r.Groups[0].OpsPerSec
+	for _, g := range r.Groups[1:] {
+		if g.OpsPerSec < min {
+			min = g.OpsPerSec
+		}
+	}
+	return min
+}
+
+// MaxPGOps returns the fastest group's throughput.
+func (r *PlacementResult) MaxPGOps() float64 {
+	max := r.Groups[0].OpsPerSec
+	for _, g := range r.Groups[1:] {
+		if g.OpsPerSec > max {
+			max = g.OpsPerSec
+		}
+	}
+	return max
+}
+
+// PrintPlacement renders the scale-out figure: aggregate YCSB throughput
+// versus PG count, with the per-group spread and the determinism digests.
+func PrintPlacement(w io.Writer, results []PlacementResult) {
+	fmt.Fprintln(w, "Scale-out: aggregate YCSB throughput (ops/sec) vs placement-group count")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "system\tpgs\tpg-size\tfleet\treplicas/node\tagg-ops/sec\tpg-min\tpg-max\tlat-p50(us)\tlat-p99(us)\tfingerprint\n")
+	for i := range results {
+		r := &results[i]
+		c := r.Config.Placement
+		s := r.Latency.Export()
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.1f\t%.0f\t%.0f\t%.0f\t%.1f\t%.1f\t%016x\n",
+			r.System, c.PGs, c.PGSize, c.Fleet,
+			float64(c.PGs*c.PGSize)/float64(c.Fleet),
+			r.OpsPerSec, r.MinPGOps(), r.MaxPGOps(),
+			us(s.P50), us(s.P99), r.Fingerprint)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,227 @@
+// JSON artifact for the scale-out experiment (aggregate YCSB throughput vs
+// placement-group count). Mirrors json.go's split: deterministic fields are
+// pure functions of the seed and must match a baseline exactly; host fields
+// (wall-clock, workers) are compared within a tolerance or not at all.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// PlacementPGJSON is one group's share of a scale-out point. Every field
+// is deterministic.
+type PlacementPGJSON struct {
+	// PG, Leader, and Members echo the group's slot in the placement map.
+	PG      int   `json:"pg"`
+	Leader  int   `json:"leader"`
+	Members []int `json:"members"`
+	// Committed and OpsPerSec are the group's measured YCSB throughput.
+	Committed int     `json:"committed"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// DeliveryFP folds the group's per-replica delivery sequences.
+	DeliveryFP string `json:"delivery_fp"`
+	// Violations and ObserveDigest carry the group's observer verdict when
+	// the run was observed.
+	Violations    int64  `json:"violations"`
+	ObserveChecks uint64 `json:"observe_checks,omitempty"`
+	ObserveDigest string `json:"observe_digest,omitempty"`
+}
+
+// PlacementPointJSON is one scale-out point: one (system, PG count) cell
+// with its per-group shares. WallNS is host metadata; everything else is
+// deterministic.
+type PlacementPointJSON struct {
+	// System through Seed identify the cell.
+	System      string `json:"system"`
+	PGs         int    `json:"pgs"`
+	PGSize      int    `json:"pg_size"`
+	Fleet       int    `json:"fleet"`
+	Domains     int    `json:"domains"`
+	Seed        int64  `json:"seed"`
+	WindowPerPG int    `json:"window_per_pg"`
+	// Committed and AggOpsPerSec are the figure's y-axis: every group's
+	// measured load summed; ElapsedNS the measured simulated interval.
+	Committed    int     `json:"committed"`
+	AggOpsPerSec float64 `json:"agg_ops_per_sec"`
+	ElapsedNS    int64   `json:"elapsed_sim_ns"`
+	// Latency summarizes the merged commit-latency distribution.
+	Latency LatencyJSON `json:"latency"`
+	// MapFP is the placement map's digest, TraceFP the shared simulation's
+	// event-stream digest, and Fingerprint the folded seed-replay digest.
+	MapFP       string `json:"map_fp"`
+	TraceFP     string `json:"trace_fp"`
+	Fingerprint string `json:"fingerprint"`
+	// WallNS is the host wall-clock time the point took.
+	WallNS int64 `json:"wall_ns"`
+	// Groups holds the per-group shares, in PG-ID order.
+	Groups []PlacementPGJSON `json:"groups"`
+}
+
+// PlacementFileJSON is a whole scale-out artifact.
+type PlacementFileJSON struct {
+	// Name identifies the run ("placement", "placement-short", ...); Kind
+	// is the artifact discriminator cmd/bench-compare dispatches on.
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// GoMaxProcs, Workers, and WallNS are host metadata.
+	GoMaxProcs int   `json:"gomaxprocs"`
+	Workers    int   `json:"workers"`
+	WallNS     int64 `json:"wall_ns"`
+	// Points holds the deterministic cells, in PG-count run order.
+	Points []PlacementPointJSON `json:"points"`
+}
+
+// PlacementArtifactKind is the Kind discriminator placement artifacts carry.
+const PlacementArtifactKind = "placement"
+
+// NewPlacementFileJSON creates an empty placement artifact for the named run.
+func NewPlacementFileJSON(name string) *PlacementFileJSON {
+	return &PlacementFileJSON{Name: name, Kind: PlacementArtifactKind, GoMaxProcs: runtime.GOMAXPROCS(0)}
+}
+
+// Add appends one scale-out point.
+func (f *PlacementFileJSON) Add(r *PlacementResult) {
+	c := r.Config.Placement
+	s := r.Latency.Export()
+	p := PlacementPointJSON{
+		System:       r.System,
+		PGs:          c.PGs,
+		PGSize:       c.PGSize,
+		Fleet:        c.Fleet,
+		Domains:      c.Domains,
+		Seed:         r.Config.Seed,
+		WindowPerPG:  r.Config.WindowPerPG,
+		Committed:    r.Committed,
+		AggOpsPerSec: r.OpsPerSec,
+		ElapsedNS:    int64(r.Elapsed),
+		Latency: LatencyJSON{
+			MeanNS: int64(s.Mean), P50NS: int64(s.P50), P90NS: int64(s.P90),
+			P99NS: int64(s.P99), P999NS: int64(s.P999), MaxNS: int64(s.Max),
+		},
+		MapFP:       fmt.Sprintf("%016x", r.MapFP),
+		TraceFP:     fmt.Sprintf("%016x", r.TraceFP),
+		Fingerprint: fmt.Sprintf("%016x", r.Fingerprint),
+	}
+	for i := range r.Groups {
+		g := &r.Groups[i]
+		gj := PlacementPGJSON{
+			PG:            g.PG,
+			Leader:        g.Leader,
+			Members:       append([]int(nil), g.Members...),
+			Committed:     g.Committed,
+			OpsPerSec:     g.OpsPerSec,
+			DeliveryFP:    fmt.Sprintf("%016x", g.DeliveryFP),
+			Violations:    g.Violations,
+			ObserveChecks: g.ObserveChecks,
+		}
+		if g.ObserveChecks > 0 {
+			gj.ObserveDigest = fmt.Sprintf("%016x", g.ObserveDigest)
+		}
+		p.Groups = append(p.Groups, gj)
+	}
+	f.Points = append(f.Points, p)
+}
+
+// WriteFile writes the placement artifact as indented JSON.
+func (f *PlacementFileJSON) WriteFile(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadPlacementFile parses a placement artifact previously written by
+// WriteFile.
+func ReadPlacementFile(path string) (*PlacementFileJSON, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f PlacementFileJSON
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Kind != PlacementArtifactKind {
+		return nil, fmt.Errorf("%s: kind %q is not a placement artifact", path, f.Kind)
+	}
+	return &f, nil
+}
+
+// ComparePlacementBaseline checks cur against base. Every field of every
+// point except host metadata is deterministic, so anything but exact
+// equality is a behaviour change: either a bug or a change that must
+// regenerate the committed baseline. Wall-clock is compared as in
+// CompareBaseline (negative wallTol skips it).
+func ComparePlacementBaseline(cur, base *PlacementFileJSON, wallTol float64) error {
+	if len(cur.Points) != len(base.Points) {
+		return fmt.Errorf("placement: %d points, baseline has %d", len(cur.Points), len(base.Points))
+	}
+	for i := range cur.Points {
+		c, b := &cur.Points[i], &base.Points[i]
+		id := fmt.Sprintf("point %d (%s pgs=%d)", i, b.System, b.PGs)
+		if c.System != b.System || c.PGs != b.PGs || c.PGSize != b.PGSize ||
+			c.Fleet != b.Fleet || c.Domains != b.Domains || c.Seed != b.Seed ||
+			c.WindowPerPG != b.WindowPerPG {
+			return fmt.Errorf("placement: %s: grid mismatch, got (%s pgs=%d size=%d fleet=%d domains=%d seed=%d window=%d)",
+				id, c.System, c.PGs, c.PGSize, c.Fleet, c.Domains, c.Seed, c.WindowPerPG)
+		}
+		if c.MapFP != b.MapFP {
+			return fmt.Errorf("placement: %s: map fingerprint %s, baseline %s — the placement itself moved", id, c.MapFP, b.MapFP)
+		}
+		if c.Committed != b.Committed || c.AggOpsPerSec != b.AggOpsPerSec || c.ElapsedNS != b.ElapsedNS {
+			return fmt.Errorf("placement: %s: committed/ops/elapsed %d/%.3f/%d, baseline %d/%.3f/%d",
+				id, c.Committed, c.AggOpsPerSec, c.ElapsedNS, b.Committed, b.AggOpsPerSec, b.ElapsedNS)
+		}
+		if c.Latency != b.Latency {
+			return fmt.Errorf("placement: %s: latency %+v, baseline %+v", id, c.Latency, b.Latency)
+		}
+		if c.TraceFP != b.TraceFP {
+			return fmt.Errorf("placement: %s: trace fingerprint %s, baseline %s", id, c.TraceFP, b.TraceFP)
+		}
+		if c.Fingerprint != b.Fingerprint {
+			return fmt.Errorf("placement: %s: fingerprint %s, baseline %s", id, c.Fingerprint, b.Fingerprint)
+		}
+		if len(c.Groups) != len(b.Groups) {
+			return fmt.Errorf("placement: %s: %d groups, baseline has %d", id, len(c.Groups), len(b.Groups))
+		}
+		for g := range c.Groups {
+			cg, bg := &c.Groups[g], &b.Groups[g]
+			if cg.Violations != bg.Violations {
+				return fmt.Errorf("placement: %s pg %d: %d invariant violations, baseline %d", id, g, cg.Violations, bg.Violations)
+			}
+			if cg.Leader != bg.Leader || fmt.Sprint(cg.Members) != fmt.Sprint(bg.Members) {
+				return fmt.Errorf("placement: %s pg %d: placed on %v leader %d, baseline %v leader %d",
+					id, g, cg.Members, cg.Leader, bg.Members, bg.Leader)
+			}
+			if cg.Committed != bg.Committed || cg.OpsPerSec != bg.OpsPerSec {
+				return fmt.Errorf("placement: %s pg %d: committed/ops %d/%.3f, baseline %d/%.3f",
+					id, g, cg.Committed, cg.OpsPerSec, bg.Committed, bg.OpsPerSec)
+			}
+			if cg.DeliveryFP != bg.DeliveryFP {
+				return fmt.Errorf("placement: %s pg %d: delivery digest %s, baseline %s", id, g, cg.DeliveryFP, bg.DeliveryFP)
+			}
+			if cg.ObserveDigest != "" && bg.ObserveDigest != "" {
+				if cg.ObserveChecks != bg.ObserveChecks {
+					return fmt.Errorf("placement: %s pg %d: %d observer checks, baseline %d", id, g, cg.ObserveChecks, bg.ObserveChecks)
+				}
+				if cg.ObserveDigest != bg.ObserveDigest {
+					return fmt.Errorf("placement: %s pg %d: observer digest %s, baseline %s — same check count, different operands (shadow-state drift)",
+						id, g, cg.ObserveDigest, bg.ObserveDigest)
+				}
+			}
+		}
+	}
+	if wallTol >= 0 && base.WallNS > 0 {
+		limit := int64(float64(base.WallNS) * (1 + wallTol))
+		if cur.WallNS > limit {
+			return fmt.Errorf("placement: wall-clock %v exceeds baseline %v by more than %.0f%%",
+				time.Duration(cur.WallNS), time.Duration(base.WallNS), wallTol*100)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestBuildDeterminism pins the core contract: the map is a pure function
+// of the configuration. Building it any number of times — here from a pool
+// of goroutine-free repeat builds interleaved with unrelated allocations —
+// must yield byte-identical groups and the same fingerprint.
+func TestBuildDeterminism(t *testing.T) {
+	cfg := Config{PGs: 64, PGSize: 3, Fleet: 12, Domains: 4, Seed: 7}
+	first, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		// Interleave hash-map churn so any accidental dependence on map
+		// iteration order or allocator state would have a chance to show.
+		churn := map[int]int{}
+		for k := 0; k < 100*i; k++ {
+			churn[k] = k
+		}
+		_ = churn
+		again, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first.Groups, again.Groups) {
+			t.Fatalf("build %d diverged from build 0", i)
+		}
+		if first.Fingerprint() != again.Fingerprint() {
+			t.Fatalf("fingerprint diverged: %016x vs %016x", first.Fingerprint(), again.Fingerprint())
+		}
+	}
+}
+
+// TestSeedChangesMap guards against a degenerate hash: different seeds must
+// actually move placements around.
+func TestSeedChangesMap(t *testing.T) {
+	a, _ := Build(Config{PGs: 16, PGSize: 3, Fleet: 12, Domains: 4, Seed: 1})
+	b, _ := Build(Config{PGs: 16, PGSize: 3, Fleet: 12, Domains: 4, Seed: 2})
+	if reflect.DeepEqual(a.Groups, b.Groups) {
+		t.Fatal("two different seeds produced identical maps")
+	}
+}
+
+// TestSpreadProperty is the failure-domain property test: across randomized
+// configurations, every group has distinct in-range members, never more
+// than DomainQuota of them in one domain, and the designated leader is
+// member zero.
+func TestSpreadProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		cfg := Config{
+			PGs:    1 + rng.Intn(128),
+			PGSize: 1 + rng.Intn(5),
+			Seed:   rng.Int63(),
+		}
+		cfg.Fleet = cfg.PGSize + rng.Intn(20)
+		cfg.Domains = 1 + rng.Intn(cfg.Fleet)
+		m, err := Build(cfg)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, cfg, err)
+		}
+		quota := cfg.DomainQuota()
+		for _, g := range m.Groups {
+			if len(g.Members) != cfg.PGSize {
+				t.Fatalf("trial %d pg %d: %d members, want %d", trial, g.ID, len(g.Members), cfg.PGSize)
+			}
+			if g.Leader != g.Members[0] {
+				t.Fatalf("trial %d pg %d: leader %d is not member 0 (%d)", trial, g.ID, g.Leader, g.Members[0])
+			}
+			seen := map[int]bool{}
+			perDomain := map[int]int{}
+			for _, n := range g.Members {
+				if n < 0 || n >= cfg.Fleet {
+					t.Fatalf("trial %d pg %d: member %d out of fleet range", trial, g.ID, n)
+				}
+				if seen[n] {
+					t.Fatalf("trial %d pg %d: duplicate member %d", trial, g.ID, n)
+				}
+				seen[n] = true
+				perDomain[cfg.Domain(n)]++
+			}
+			for d, c := range perDomain {
+				if c > quota {
+					t.Fatalf("trial %d pg %d: domain %d hosts %d members, quota %d (%+v)",
+						trial, g.ID, d, c, quota, cfg)
+				}
+			}
+		}
+	}
+}
+
+// TestLeaderSpread pins the round-robin rule's outcome: with many PGs over
+// a small fleet, leaderships spread nearly evenly — no node leads more than
+// one group above its fair share, and every node leads something.
+func TestLeaderSpread(t *testing.T) {
+	cfg := Config{PGs: 64, PGSize: 3, Fleet: 12, Domains: 4, Seed: 1}
+	m, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := m.LeaderCounts()
+	fair := cfg.PGs / cfg.Fleet // 64/12 -> at least 5 each
+	for n, c := range counts {
+		if c == 0 {
+			t.Errorf("fleet node %d leads no groups: %v", n, counts)
+		}
+		if c > fair+1 {
+			t.Errorf("fleet node %d leads %d groups, fair share %d: %v", n, c, fair, counts)
+		}
+	}
+}
+
+// TestKeyPGStable pins key routing: stable for a fixed PG count, in range,
+// and non-degenerate (a realistic keyspace touches every PG).
+func TestKeyPGStable(t *testing.T) {
+	m, err := Build(DefaultConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := make([]int, 16)
+	for i := 0; i < 4096; i++ {
+		key := fmt.Sprintf("user%016d", i)
+		pg := m.KeyPG(key)
+		if pg < 0 || pg >= 16 {
+			t.Fatalf("key %q routed out of range: %d", key, pg)
+		}
+		if pg != m.KeyPG(key) {
+			t.Fatalf("key %q routing unstable", key)
+		}
+		hit[pg]++
+	}
+	for pg, c := range hit {
+		if c == 0 {
+			t.Errorf("pg %d never hit by 4096 sequential keys", pg)
+		}
+	}
+}
+
+// TestHostedOn cross-checks the co-location index against the group lists.
+func TestHostedOn(t *testing.T) {
+	m, err := Build(Config{PGs: 8, PGSize: 3, Fleet: 6, Domains: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for n := 0; n < 6; n++ {
+		for _, pr := range m.HostedOn(n) {
+			if m.Groups[pr[0]].Members[pr[1]] != n {
+				t.Fatalf("HostedOn(%d) reported pg %d replica %d, but that slot is node %d",
+					n, pr[0], pr[1], m.Groups[pr[0]].Members[pr[1]])
+			}
+			total++
+		}
+	}
+	if want := 8 * 3; total != want {
+		t.Fatalf("co-location index covers %d replica slots, want %d", total, want)
+	}
+	if got, want := sum(m.ReplicaCounts()), 24; got != want {
+		t.Fatalf("ReplicaCounts sums to %d, want %d", got, want)
+	}
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// TestValidate walks the rejection surface.
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{PGs: 0, PGSize: 3, Fleet: 6, Domains: 2},
+		{PGs: 1, PGSize: 0, Fleet: 6, Domains: 2},
+		{PGs: 1, PGSize: 7, Fleet: 6, Domains: 2},
+		{PGs: 1, PGSize: 3, Fleet: 6, Domains: 0},
+		{PGs: 1, PGSize: 3, Fleet: 6, Domains: 7},
+	}
+	for i, cfg := range bad {
+		if _, err := Build(cfg); err == nil {
+			t.Errorf("case %d (%+v): Build accepted an invalid config", i, cfg)
+		}
+	}
+}

@@ -104,6 +104,10 @@ type Fabric struct {
 	// mrs tracks the poolable registered regions handed out by this
 	// fabric's nodes, for Release.
 	mrs [][]byte
+
+	// procQueue holds pre-created CPUs queued by ProvideProcs for the next
+	// AddNode calls; empty means AddNode creates a fresh Proc per node.
+	procQueue []*simnet.Proc
 }
 
 // getBuf returns a zeroed-length-n buffer from the fabric's wire-frame
@@ -148,15 +152,35 @@ func NewFabric(sim *simnet.Sim, p Params) *Fabric {
 	}
 }
 
-// AddNode creates a node with its own CPU (Proc) and NIC.
+// AddNode creates a node with its own NIC and its own CPU (Proc) — unless
+// procs were queued by ProvideProcs, in which case the next queued CPU backs
+// the node instead (placement-group co-location: many logical ring members
+// time-sharing one physical machine's core).
 func (f *Fabric) AddNode(name string) *Node {
+	var p *simnet.Proc
+	if len(f.procQueue) > 0 {
+		p = f.procQueue[0]
+		f.procQueue = f.procQueue[1:]
+	} else {
+		p = simnet.NewProc(f.Sim, len(f.nodes), name)
+	}
 	n := &Node{
 		Fabric: f,
 		ID:     len(f.nodes),
-		Proc:   simnet.NewProc(f.Sim, len(f.nodes), name),
+		Proc:   p,
 	}
 	f.nodes = append(f.nodes, n)
 	return n
+}
+
+// ProvideProcs queues CPUs for the next len(procs) AddNode calls, in order.
+// The placement layer uses this to land each ring replica on its assigned
+// fleet node's CPU: work posted by co-located replicas of different rings
+// then serializes on the shared core, which is exactly the contention a real
+// multi-group deployment pays. Calls beyond the queue (e.g. a cluster's
+// client node) fall back to fresh per-node CPUs.
+func (f *Fabric) ProvideProcs(procs []*simnet.Proc) {
+	f.procQueue = append(f.procQueue, procs...)
 }
 
 // Node returns the node with the given ID.

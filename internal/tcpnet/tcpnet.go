@@ -78,6 +78,10 @@ type Net struct {
 	// therefore copy any bytes they retain past their own return — the same
 	// contract real kernel receive buffers impose.
 	bufFree [][]byte
+
+	// procQueue holds pre-created CPUs queued by ProvideProcs for the next
+	// AddNode calls; empty means AddNode creates a fresh Proc per host.
+	procQueue []*simnet.Proc
 }
 
 // getBuf returns a length-n frame buffer from the free-list, allocating one
@@ -257,11 +261,28 @@ type Node struct {
 	MsgsSent uint64
 }
 
-// AddNode creates a host.
+// AddNode creates a host with its own CPU — unless procs were queued by
+// ProvideProcs, in which case the next queued CPU backs the host instead
+// (placement-group co-location on a shared physical machine).
 func (n *Net) AddNode(name string) *Node {
-	nd := &Node{Net: n, ID: len(n.nodes), Proc: simnet.NewProc(n.Sim, len(n.nodes), name)}
+	var p *simnet.Proc
+	if len(n.procQueue) > 0 {
+		p = n.procQueue[0]
+		n.procQueue = n.procQueue[1:]
+	} else {
+		p = simnet.NewProc(n.Sim, len(n.nodes), name)
+	}
+	nd := &Node{Net: n, ID: len(n.nodes), Proc: p}
 	n.nodes = append(n.nodes, nd)
 	return nd
+}
+
+// ProvideProcs queues CPUs for the next len(procs) AddNode calls, in order.
+// See rdma.Fabric.ProvideProcs: the placement layer lands each ring replica
+// on its assigned fleet node's CPU so co-located replicas of different rings
+// contend for the shared core.
+func (n *Net) ProvideProcs(procs []*simnet.Proc) {
+	n.procQueue = append(n.procQueue, procs...)
 }
 
 // Node returns the host with the given ID.
